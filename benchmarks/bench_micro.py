@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the substrate itself.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+of the hot paths: DES event throughput, GA one-sided operations, PTG
+instantiation, and a small end-to-end PaRSEC execution. They guard the
+simulator's own performance — the Figure 9 sweep runs ~30 full cluster
+simulations, so kernel regressions hurt.
+"""
+
+import pytest
+
+from repro.core.executor import run_over_parsec
+from repro.core.inspector import inspect_subroutine
+from repro.core.ptg_build import build_ccsd_ptg
+from repro.core.variants import V5
+from repro.experiments.calibration import make_cluster, make_workload
+from repro.ga.runtime import GlobalArrays
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.engine import Engine
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_engine_event_throughput(benchmark):
+    """Cost of scheduling + dispatching 10k timeout events."""
+
+    def run():
+        engine = Engine()
+
+        def worker():
+            for _ in range(2500):
+                yield engine.timeout(1.0)
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        return engine.now
+
+    assert benchmark(run) == 2500.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_ga_fetch_roundtrips(benchmark):
+    """1k blocking one-sided gets against remote owners."""
+
+    def run():
+        cluster = Cluster(
+            ClusterConfig(n_nodes=8, cores_per_node=1, data_mode=DataMode.SYNTH)
+        )
+        ga = GlobalArrays(cluster)
+        array = ga.create("t", 8 * 4096)
+
+        def reader(rank):
+            for i in range(125):
+                target = (rank + 1 + i) % 8
+                lo, hi = array.distribution.node_range(target)
+                yield from ga.fetch(rank, array, lo, lo + 512)
+
+        for rank in range(8):
+            cluster.engine.process(reader(rank))
+        cluster.run()
+        return ga.gets
+
+    assert benchmark(run) == 1000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_ptg_instantiation(benchmark):
+    """Inspection + PTG instantiation for the small workload."""
+    cluster = make_cluster(2, n_nodes=8)
+    workload = make_workload(cluster, scale="small")
+
+    def run():
+        md = inspect_subroutine(workload.subroutine, cluster, V5)
+        ptg = build_ccsd_ptg(V5, md)
+        graph = ptg.instantiate(md, cluster.n_nodes)
+        return len(graph)
+
+    n_tasks = benchmark(run)
+    assert n_tasks > workload.subroutine.n_gemms * 3
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_end_to_end_small_v5(benchmark):
+    """Full simulated v5 execution of the small workload (SYNTH)."""
+
+    def run():
+        cluster = make_cluster(2, n_nodes=8)
+        workload = make_workload(cluster, scale="small")
+        return run_over_parsec(cluster, workload.subroutine, V5).execution_time
+
+    assert benchmark(run) > 0

@@ -1,0 +1,49 @@
+"""Shared benchmark helpers.
+
+Every figure bench runs the full experiment once (``pedantic`` with one
+round — the simulation is deterministic, so repeated rounds measure
+nothing but Python variance), prints the paper-shaped table, writes it
+under ``benchmarks/results/``, and asserts the shape checks.
+
+Scale is controlled by ``REPRO_SCALE`` (default ``paper``); set
+``REPRO_SCALE=small`` for a quick smoke pass.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    from repro.experiments.calibration import bench_scale
+
+    return bench_scale()
+
+
+def write_report(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one experiment report and echo it to stdout."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report saved to {path}]")
+
+
+def shapes_asserted(scale: str) -> bool:
+    """Whether the paper-shape assertions apply.
+
+    The contention phenomena behind Figure 9's shape (GA-path
+    saturation, network floods, chain starvation) only manifest at the
+    paper workload scale; smaller scales run the same experiments as
+    smoke tests and report the numbers without asserting shapes.
+    """
+    return scale in ("paper", "full")

@@ -1,0 +1,71 @@
+"""Explore the paper's five algorithmic variants on one machine.
+
+Runs icsd_t2_7 through all variants of Section IV-A/V on a simulated
+32-node cluster at a chosen core count, prints the Figure 9 column for
+that core count, and summarizes what each variant changes.
+
+Run:  python examples/variant_explorer.py [cores_per_node] [scale]
+e.g.  python examples/variant_explorer.py 15 paper
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.core.executor import run_over_parsec
+from repro.core.variants import PAPER_VARIANTS
+from repro.experiments.calibration import make_cluster, make_workload
+from repro.legacy.runtime import LegacyRuntime
+
+
+def main() -> None:
+    cores = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+    rows = []
+    cluster = make_cluster(cores)
+    workload = make_workload(cluster, scale=scale)
+    print(f"workload: {workload.subroutine.describe()}")
+    print(f"machine: 32 nodes x {cores} cores/node (+1 comm thread each)\n")
+
+    legacy = LegacyRuntime(cluster, workload.ga).execute_subroutine(
+        workload.subroutine
+    )
+    rows.append(
+        [
+            "original",
+            f"{legacy.execution_time:.3f}",
+            "-",
+            "chain-stealing via NXTVAL, blocking GETs",
+        ]
+    )
+
+    for name, variant in sorted(PAPER_VARIANTS.items()):
+        cluster = make_cluster(cores)
+        workload = make_workload(cluster, scale=scale)
+        run = run_over_parsec(cluster, workload.subroutine, variant)
+        rows.append(
+            [
+                name,
+                f"{run.execution_time:.3f}",
+                str(run.result.n_tasks),
+                variant.describe().split(": ", 1)[1],
+            ]
+        )
+
+    print(
+        format_table(
+            ["code", "time (s)", "tasks", "organization"],
+            rows,
+            title=f"icsd_t2_7 at {cores} cores/node, scale={scale}",
+        )
+    )
+
+    fastest = min(rows[1:], key=lambda r: float(r[1]))
+    print(
+        f"\nfastest variant: {fastest[0]} "
+        f"({float(rows[0][1]) / float(fastest[1]):.2f}x over the original)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel` package,
+so PEP 660 editable installs (which need to build a wheel) fail. With
+this shim and no [build-system] table in pyproject.toml, pip falls back
+to `setup.py develop`, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

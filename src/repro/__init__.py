@@ -1,0 +1,54 @@
+"""repro — "PaRSEC in Practice" (CLUSTER 2015), reproduced in Python.
+
+A reproduction of Danalis, Jagode, Bosilca, Dongarra: "PaRSEC in
+Practice: Optimizing a Legacy Chemistry Application through Distributed
+Task-Based Execution" (IEEE CLUSTER 2015). See README.md for a guide,
+DESIGN.md for the system inventory, EXPERIMENTS.md for measured-vs-paper
+results.
+
+Top-level convenience imports cover the common entry points; the
+subpackages are the real API surface:
+
+- :mod:`repro.sim` — the discrete-event machine
+- :mod:`repro.ga` — the Global Arrays substrate
+- :mod:`repro.tce` — the CCSD workload generators
+- :mod:`repro.legacy` — the original execution model
+- :mod:`repro.parsec` — the PTG runtime (and the contrasted DTD model)
+- :mod:`repro.core` — the CCSD-over-PaRSEC port and its five variants
+- :mod:`repro.analysis` — trace metrics and rendering
+- :mod:`repro.experiments` — the paper's experiments
+"""
+
+from repro.core.executor import run_over_parsec
+from repro.core.variants import PAPER_VARIANTS, V1, V2, V3, V4, V5, variant_by_name
+from repro.ga.runtime import GlobalArrays
+from repro.legacy.runtime import LegacyRuntime
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.cost import MachineModel
+from repro.tce.molecules import beta_carotene, small_system, system_for_scale, tiny_system
+from repro.tce.t2_7 import build_t2_7
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_over_parsec",
+    "PAPER_VARIANTS",
+    "V1",
+    "V2",
+    "V3",
+    "V4",
+    "V5",
+    "variant_by_name",
+    "GlobalArrays",
+    "LegacyRuntime",
+    "Cluster",
+    "ClusterConfig",
+    "DataMode",
+    "MachineModel",
+    "beta_carotene",
+    "small_system",
+    "system_for_scale",
+    "tiny_system",
+    "build_t2_7",
+    "__version__",
+]

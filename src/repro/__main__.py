@@ -1,0 +1,193 @@
+"""Command-line driver: ``python -m repro <experiment> [options]``.
+
+Subcommands regenerate the paper's artifacts without pytest:
+
+- ``fig9``        the Figure 9 sweep + shape checks
+- ``traces``      Figures 10/11 and 12/13 with ASCII Gantt charts
+- ``equivalence`` the Section IV-A 14-digit agreement check
+- ``ablations``   the design-decision sweeps
+- ``info``        workload/scale/machine summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scale(parser: argparse.ArgumentParser, default: str = "paper") -> None:
+    parser.add_argument(
+        "--scale",
+        default=default,
+        choices=["tiny", "small", "paper", "full"],
+        help=f"workload scale preset (default: {default})",
+    )
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.experiments.fig9 import fig9_shape_checks, run_fig9
+
+    result = run_fig9(scale=args.scale)
+    print(result.table())
+    print()
+    print(result.chart())
+    print()
+    print(result.summary_table())
+    print()
+    failed = 0
+    for check in fig9_shape_checks(result):
+        status = "PASS" if check.passed else "FAIL"
+        failed += not check.passed
+        print(f"[{status}] {check.name}: {check.detail}")
+    if args.scale not in ("paper", "full"):
+        print(
+            "\nnote: the shape checks describe the paper-scale workload; at "
+            f"--scale {args.scale} they are informational only."
+        )
+        return 0
+    return 1 if failed else 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    from repro.experiments.traces import comm_vs_gemm_share, run_fig10_11, run_fig12_13
+
+    n_nodes = 8 if args.scale in ("tiny", "small") else 32
+    v4, v2 = run_fig10_11(scale=args.scale, n_nodes=n_nodes)
+    original = run_fig12_13(scale=args.scale, n_nodes=n_nodes)
+    for experiment, figure in ((v4, "Figure 10"), (v2, "Figure 11")):
+        print(f"=== {figure}: {experiment.name}")
+        print(
+            f"time={experiment.execution_time:.4f}s  "
+            f"startup idle={100 * experiment.startup_idle:.1f}%"
+        )
+        print(experiment.gantt(width=args.width, max_rows=args.rows))
+        print()
+    print(f"=== Figure 12/13: {original.name}")
+    print(
+        f"time={original.execution_time:.4f}s  overlap={100 * original.overlap:.0f}%  "
+        f"comm share={100 * original.comm_fraction:.1f}%  "
+        f"comm/GEMM={comm_vs_gemm_share(original):.2f}x"
+    )
+    print(original.gantt(width=args.width, max_rows=args.rows))
+    return 0
+
+
+def cmd_equivalence(args: argparse.Namespace) -> int:
+    from repro.experiments.equivalence import run_equivalence
+
+    result = run_equivalence(scale=args.scale, n_nodes=8)
+    for name, energy in sorted(result.energies.items()):
+        print(f"{name:10s} {energy:+.15e}")
+    digits = result.agrees_to_digits()
+    print(f"agreement: {digits:.1f} digits (paper claims 14)")
+    return 0 if digits >= 13 else 1
+
+
+def cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.experiments.ablations import (
+        compare_load_balancing,
+        compare_scheduler_policies,
+        sweep_priority_offsets,
+        sweep_segment_height,
+        sweep_write_organization,
+    )
+
+    print(
+        format_table(
+            ["read offset", "time (s)"],
+            [[f"+{k}", f"{v:.3f}"] for k, v in sorted(sweep_priority_offsets(scale=args.scale).items())],
+            title="READ priority offset (v4, 7 cores/node)",
+        ),
+        end="\n\n",
+    )
+    print(
+        format_table(
+            ["chain height", "time (s)"],
+            [[k, f"{v:.3f}"] for k, v in sweep_segment_height(scale=args.scale).items()],
+            title="GEMM chain segment height (15 cores/node)",
+        ),
+        end="\n\n",
+    )
+    grid = sweep_write_organization(scale=args.scale)
+    print(
+        format_table(
+            ["mutex op cost", "single WRITE (v5)", "parallel WRITEs"],
+            [
+                [k, f"{v['single-write (v5)']:.3f}", f"{v['parallel-write']:.3f}"]
+                for k, v in grid.items()
+            ],
+            title="WRITE organization vs mutex cost (15 cores/node)",
+        ),
+        end="\n\n",
+    )
+    print(
+        format_table(
+            ["strategy", "time (s)"],
+            [[k, f"{v:.3f}"] for k, v in compare_load_balancing(scale=args.scale).items()],
+            title="Load balancing (7 cores/node)",
+        ),
+        end="\n\n",
+    )
+    print(
+        format_table(
+            ["policy", "time (s)"],
+            [[k, f"{v:.3f}"] for k, v in compare_scheduler_policies(scale=args.scale).items()],
+            title="Scheduler policy (v4, 7 cores/node)",
+        )
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.experiments.calibration import PAPER_MACHINE, make_cluster, make_workload
+    from repro.tce.molecules import SCALE_PRESETS
+
+    print("scale presets:")
+    for name, system in SCALE_PRESETS.items():
+        print(
+            f"  {name:6s} {system.name}: nocc={system.nocc} nvirt={system.nvirt} "
+            f"tile={system.tile_size} ({system.n_basis} basis functions)"
+        )
+    cluster = make_cluster(1, n_nodes=4)
+    workload = make_workload(cluster, scale=args.scale)
+    print(f"\nworkload at --scale {args.scale}: {workload.subroutine.describe()}")
+    print(f"\ncalibrated machine: {PAPER_MACHINE}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'PaRSEC in Practice' (CLUSTER 2015) experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser("fig9", help="Figure 9 sweep + shape checks")
+    _add_scale(p)
+    p.set_defaults(func=cmd_fig9)
+
+    p = subparsers.add_parser("traces", help="Figures 10-13 ASCII traces")
+    _add_scale(p, default="small")
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--rows", type=int, default=7)
+    p.set_defaults(func=cmd_traces)
+
+    p = subparsers.add_parser("equivalence", help="14-digit agreement check")
+    _add_scale(p, default="small")
+    p.set_defaults(func=cmd_equivalence)
+
+    p = subparsers.add_parser("ablations", help="design-decision sweeps")
+    _add_scale(p)
+    p.set_defaults(func=cmd_ablations)
+
+    p = subparsers.add_parser("info", help="workload and machine summary")
+    _add_scale(p, default="paper")
+    p.set_defaults(func=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

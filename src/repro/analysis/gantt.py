@@ -1,0 +1,106 @@
+"""ASCII Gantt rendering — the stand-in for the paper's trace figures.
+
+Each (node, thread) row becomes one line of glyphs over a fixed-width
+time axis, with one character per task category (the paper's colours):
+
+====================  =========  ======================================
+paper colour          glyph      category
+====================  =========  ======================================
+red                   ``G``      GEMM
+blue                  ``a``      READ_A / GET_HASH_BLOCK (COMM: ``c``)
+purple                ``b``      READ_B
+yellow                ``r``      reductions
+light green           ``w``      write-back
+(n/a)                 ``s``      SORT
+(n/a)                 ``d``      DFILL
+(n/a)                 ``n``      NXTVAL, ``|`` barrier
+grey                  `` ``      idle
+====================  =========  ======================================
+
+When several categories fall into one cell, the busiest wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.trace import TaskCategory, TraceRecorder
+
+__all__ = ["render_gantt", "CATEGORY_GLYPHS"]
+
+CATEGORY_GLYPHS: dict[TaskCategory, str] = {
+    TaskCategory.GEMM: "G",
+    TaskCategory.READ_A: "a",
+    TaskCategory.READ_B: "b",
+    TaskCategory.COMM: "c",
+    TaskCategory.REDUCE: "r",
+    TaskCategory.WRITE: "w",
+    TaskCategory.SORT: "s",
+    TaskCategory.DFILL: "d",
+    TaskCategory.NXTVAL: "n",
+    TaskCategory.BARRIER: "|",
+    TaskCategory.OTHER: "o",
+}
+
+
+def render_gantt(
+    trace: TraceRecorder,
+    width: int = 100,
+    max_rows: Optional[int] = 32,
+    title: str = "",
+    t_min: Optional[float] = None,
+    t_max: Optional[float] = None,
+) -> str:
+    """Render the trace as fixed-width ASCII art.
+
+    ``max_rows`` limits output for big clusters (the first rows are
+    shown, like the paper's figures show a window of the machine).
+    ``t_min``/``t_max`` restrict the time axis — the zoom of the
+    paper's Figure 13 "so that individual tasks can be discerned".
+    """
+    if not trace.events:
+        return f"{title}\n(empty trace)"
+    t0 = min(e.t_start for e in trace.events) if t_min is None else t_min
+    t1 = max(e.t_end for e in trace.events) if t_max is None else t_max
+    span = max(t1 - t0, 1e-30)
+    rows = trace.by_thread()
+    keys = sorted(rows)
+    if max_rows is not None:
+        keys = keys[:max_rows]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"time axis: {t0:.6f}s .. {t1:.6f}s ({span:.6f}s across {width} cols)"
+    )
+    for node, thread in keys:
+        # per cell, accumulate busy time per category; busiest wins
+        cells: list[dict[TaskCategory, float]] = [dict() for _ in range(width)]
+        for event in rows[(node, thread)]:
+            if event.duration <= 0 or event.t_end <= t0 or event.t_start >= t1:
+                continue
+            c_start = max((event.t_start - t0), 0.0) / span * width
+            c_end = min((event.t_end - t0), span) / span * width
+            first = min(width - 1, int(c_start))
+            last = min(width - 1, int(c_end)) if c_end > c_start else first
+            for cell_index in range(first, last + 1):
+                cell_lo = t0 + cell_index * span / width
+                cell_hi = cell_lo + span / width
+                overlap = min(event.t_end, cell_hi) - max(event.t_start, cell_lo)
+                if overlap > 0:
+                    bucket = cells[cell_index]
+                    bucket[event.category] = bucket.get(event.category, 0.0) + overlap
+        glyphs = []
+        for bucket in cells:
+            if not bucket:
+                glyphs.append(" ")
+            else:
+                winner = max(bucket.items(), key=lambda kv: kv[1])[0]
+                glyphs.append(CATEGORY_GLYPHS.get(winner, "?"))
+        lines.append(f"n{node:03d}.t{thread:02d} |{''.join(glyphs)}|")
+    legend = "  ".join(
+        f"{glyph}={category.value}"
+        for category, glyph in CATEGORY_GLYPHS.items()
+    )
+    lines.append(f"legend: {legend}  (space=idle)")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Plain-text tables for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_fig9_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A simple aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in str_rows)) if str_rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_fig9_table(
+    times: Mapping[str, Mapping[int, float]],
+    core_counts: Sequence[int],
+    title: str = "Figure 9: execution time (virtual seconds), 32 nodes",
+) -> str:
+    """The Figure 9 series: one row per code, one column per cores/node.
+
+    ``times[code][cores] -> seconds``; missing cells print as '-'.
+    """
+    headers = ["code"] + [f"{c} cores/node" for c in core_counts]
+    rows = []
+    for code in times:
+        row = [code]
+        for cores in core_counts:
+            value = times[code].get(cores)
+            row.append(f"{value:.3f}" if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,57 @@
+"""Running one subroutine over PaRSEC inside the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.inspector import inspect_subroutine
+from repro.core.metadata import Metadata
+from repro.core.ptg_build import build_ccsd_ptg
+from repro.core.variants import VariantSpec
+from repro.parsec.runtime import ParsecResult, ParsecRuntime
+from repro.sim.cluster import Cluster
+from repro.tce.subroutine import Subroutine
+
+__all__ = ["CcsdRun", "run_over_parsec"]
+
+
+@dataclass
+class CcsdRun:
+    """One complete PaRSEC execution of a subroutine."""
+
+    variant: VariantSpec
+    result: ParsecResult
+    metadata: Metadata
+
+    @property
+    def execution_time(self) -> float:
+        return self.result.execution_time
+
+    def describe(self) -> str:
+        return (
+            f"{self.metadata.subroutine_name} over PaRSEC "
+            f"[{self.variant.name}]: {self.result.n_tasks} tasks in "
+            f"{self.execution_time:.3f}s (virtual)"
+        )
+
+
+def run_over_parsec(
+    cluster: Cluster,
+    subroutine: Subroutine,
+    variant: VariantSpec,
+    validate: bool = True,
+    policy=None,
+) -> CcsdRun:
+    """Inspect, build the variant's PTG, execute, and collect results.
+
+    This is the whole Section III-B pipeline: inspection phase →
+    metadata arrays → PTG execution → control returns to the caller
+    (with the output already accumulated in the i2 Global Array).
+    ``policy`` selects the node scheduler discipline (default: the
+    priority-aware scheduler the paper's experiments use).
+    """
+    metadata = inspect_subroutine(subroutine, cluster, variant)
+    ptg = build_ccsd_ptg(variant, metadata)
+    runtime = ParsecRuntime(cluster, policy=policy)
+    result = runtime.execute(ptg, metadata, validate=validate)
+    return CcsdRun(variant=variant, result=result, metadata=metadata)

@@ -1,0 +1,175 @@
+"""The inspection phase.
+
+Section III-B: "our modified code starts with an inspection phase.
+During this phase the code computes the set of iteration vectors that
+lead to task executions ... In addition, the code queries the Global
+Array library to discover the physical location of the program data."
+
+The inspector walks the control-flow slice of the subroutine (here: the
+resolved chain IR, which plays the role of the sliced DO/IF nest),
+evaluates the segment decomposition for the variant's chain height,
+builds the binary reduction tree over segments, asks each operand
+tensor's GA distribution for ``find_last_segment_owner`` (READ task
+placement, Figure 1) and splits each chain's target block into
+per-owner write segments (Figure 8). Chains are placed round-robin
+across nodes (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from repro.core.metadata import (
+    ChainMeta,
+    GemmMeta,
+    Metadata,
+    ReduceMeta,
+    SegmentMeta,
+    SortMeta,
+    WriteSegMeta,
+)
+from repro.core.variants import VariantSpec
+from repro.sim.cluster import Cluster
+from repro.tce.subroutine import ChainSpec, Subroutine
+from repro.util.errors import ConfigurationError
+
+__all__ = ["inspect_subroutine"]
+
+
+def _build_segments(n_gemms: int, height: int | None) -> list[SegmentMeta]:
+    if height is None:
+        return [SegmentMeta(0, 0, n_gemms)]
+    segments = []
+    start = 0
+    seg_id = 0
+    while start < n_gemms:
+        length = min(height, n_gemms - start)
+        segments.append(SegmentMeta(seg_id, start, length))
+        start += length
+        seg_id += 1
+    return segments
+
+
+def _build_reduce_tree(
+    n_segments: int,
+) -> tuple[list[ReduceMeta], dict[tuple[str, int], int]]:
+    """Pairwise binary tree over segment outputs.
+
+    Returns the reduce steps plus the consumer map: which step consumes
+    each ``('seg', i)`` / ``('red', s)`` source. The final step is the
+    root (its output goes to the SORT stage).
+    """
+    if n_segments <= 1:
+        return [], {}
+    reduces: list[ReduceMeta] = []
+    consumer: dict[tuple[str, int], int] = {}
+    frontier: list[tuple[str, int]] = [("seg", i) for i in range(n_segments)]
+    step = 0
+    while len(frontier) > 1:
+        next_frontier: list[tuple[str, int]] = []
+        for i in range(0, len(frontier) - 1, 2):
+            left, right = frontier[i], frontier[i + 1]
+            reduces.append(ReduceMeta(step, left, right, is_root=False))
+            consumer[left] = step
+            consumer[right] = step
+            next_frontier.append(("red", step))
+            step += 1
+        if len(frontier) % 2 == 1:
+            next_frontier.append(frontier[-1])
+        frontier = next_frontier
+    # mark the root
+    root = reduces[-1]
+    reduces[-1] = ReduceMeta(root.step, root.left, root.right, is_root=True)
+    return reduces, consumer
+
+
+def _inspect_chain(
+    chain: ChainSpec, cluster: Cluster, variant: VariantSpec
+) -> ChainMeta:
+    n_nodes = cluster.n_nodes
+    segments = _build_segments(chain.length, variant.segment_height)
+    reduces, consumer = _build_reduce_tree(len(segments))
+
+    gemms: list[GemmMeta] = []
+    for seg in segments:
+        for pos_in_seg in range(seg.length):
+            gemm = chain.gemms[seg.start + pos_in_seg]
+            gemms.append(
+                GemmMeta(
+                    position=gemm.position,
+                    seg_id=seg.seg_id,
+                    pos_in_seg=pos_in_seg,
+                    seg_len=seg.length,
+                    a_lo=gemm.a.lo,
+                    a_hi=gemm.a.hi,
+                    a_owner=gemm.a.tensor.array.distribution.last_segment_owner(
+                        gemm.a.lo, gemm.a.hi
+                    ),
+                    b_lo=gemm.b.lo,
+                    b_hi=gemm.b.hi,
+                    b_owner=gemm.b.tensor.array.distribution.last_segment_owner(
+                        gemm.b.lo, gemm.b.hi
+                    ),
+                    m=gemm.m,
+                    n=gemm.n,
+                    k=gemm.k,
+                )
+            )
+
+    sorts = [
+        SortMeta(sw.sort_index, sw.guard, sw.perm, sw.sign)
+        for sw in chain.sort_writes
+    ]
+    active = [sw for sw in chain.sort_writes if sw.guard]
+    if not active:
+        raise ConfigurationError(f"chain {chain.chain_id} has no active sort branch")
+    # all active sorts target the same block (their permutations only
+    # differ when the permuted key equals the original key)
+    target_ranges = {(sw.target.lo, sw.target.hi) for sw in active}
+    if len(target_ranges) != 1:
+        raise ConfigurationError(
+            f"chain {chain.chain_id}: active sorts target distinct blocks "
+            f"{sorted(target_ranges)} — the WRITE_C organization assumes one"
+        )
+    target_lo, target_hi = target_ranges.pop()
+    i2_array = active[0].target.tensor.array
+    write_segs = [
+        WriteSegMeta(index, seg.node, seg.lo, seg.hi)
+        for index, seg in enumerate(i2_array.distribution.segments(target_lo, target_hi))
+    ]
+
+    return ChainMeta(
+        chain_id=chain.chain_id,
+        node=chain.chain_id % n_nodes,
+        key=chain.key,
+        tile_shape=chain.tile_shape,
+        m=chain.m,
+        n=chain.n,
+        gemms=gemms,
+        segments=segments,
+        reduces=reduces,
+        consumer_of=consumer,
+        sorts=sorts,
+        target_lo=target_lo,
+        target_hi=target_hi,
+        write_segs=write_segs,
+    )
+
+
+def inspect_subroutine(
+    subroutine: Subroutine, cluster: Cluster, variant: VariantSpec
+) -> Metadata:
+    """Run the inspection phase; returns the filled metadata arrays."""
+    if not subroutine.chains:
+        raise ConfigurationError(f"subroutine {subroutine.name} has no chains")
+    chains = [
+        _inspect_chain(chain, cluster, variant) for chain in subroutine.chains
+    ]
+    first = subroutine.chains[0]
+    return Metadata(
+        chains=chains,
+        variant=variant,
+        n_nodes=cluster.n_nodes,
+        va_array=first.gemms[0].a.tensor.array,
+        tb_array=first.gemms[0].b.tensor.array,
+        i2_array=subroutine.output.array,
+        subroutine_name=subroutine.name,
+    )

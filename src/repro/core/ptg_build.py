@@ -1,0 +1,602 @@
+"""Building the CCSD PTG for one variant.
+
+This module is the Python analogue of the ``.jdf`` file: it declares
+the READ_A/READ_B, DFILL, GEMM, REDUCE, SORT/SORT_I, and
+WRITE_C/WRITE_C_I task classes with the guarded dataflow of the paper's
+Figures 1-2 and 4-8, parameterized by a :class:`VariantSpec`.
+
+Structure per chain (L1):
+
+- ``READ_A(L1, L2)`` / ``READ_B(L1, L2)`` run on the GA owner node
+  (``find_last_segment_owner``) and feed ``GEMM(L1, L2)``.
+- GEMMs form serial mini-chains of the variant's segment height; each
+  segment's first GEMM receives its C from ``DFILL(L1, S)`` (when the
+  segment is longer than one GEMM) and the last forwards it — to the
+  next-segment machinery (the binary ``REDUCE(L1, R)`` tree, Figure 4)
+  or straight to the SORT stage when the chain has a single segment
+  (Figure 1's ``(L2 == size_L2-1) ? C SORT(L1)``).
+- The SORT stage is one fused ``SORT(L1)`` (Figure 5) or parallel
+  ``SORT_I(L1, I)`` per active IF branch (Figure 6/7).
+- WRITE tasks run on the nodes owning the target data, one instance per
+  owner segment (Figure 8), accumulate under the node's write mutex,
+  and receive only the slice relevant to their node.
+
+Priorities follow Section IV-C exactly: ``max_L1 - L1 + offset*P`` with
+offset +5 for reads, +1 for GEMMs, 0 elsewhere; or no priorities at all
+for variant v2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metadata import Metadata
+from repro.core.variants import VariantSpec
+from repro.parsec.ptg import PTG
+from repro.parsec.taskclass import Dep, Flow, FlowMode, TaskClass, TaskContext
+from repro.sim.trace import TaskCategory
+
+__all__ = ["build_ccsd_ptg"]
+
+
+# ----------------------------------------------------------------------
+# task bodies
+# ----------------------------------------------------------------------
+def _read_run(which: str, out_flow: str):
+    def run(ctx: TaskContext):
+        gemm = ctx.md.gemm(*ctx.params)
+        if which == "a":
+            lo, hi, array = gemm.a_lo, gemm.a_hi, ctx.md.va_array
+        else:
+            lo, hi, array = gemm.b_lo, gemm.b_hi, ctx.md.tb_array
+        nbytes = 8.0 * (hi - lo)
+        # local GA get on the owner node: exclusive core time at the
+        # local ARMCI copy rate, plus the memory traffic itself. This
+        # core cost is what lets priorities throttle the transfer
+        # enqueue rate (the v2-vs-v4 contrast of Figures 10/11).
+        cpu = nbytes / ctx.machine.ga_local_bytes_per_s
+        yield from ctx.charge(_cost(cpu, nbytes))
+        ctx.outputs[out_flow] = array.read_range_direct(lo, hi) if ctx.real else None
+
+    return run
+
+
+def _dfill_run(ctx: TaskContext):
+    chain = ctx.md.chain(ctx.params[0])
+    yield from ctx.charge(ctx.machine.zero_fill(chain.c_size))
+    ctx.outputs["C"] = np.zeros((chain.m, chain.n)) if ctx.real else None
+
+
+def _gemm_run(ctx: TaskContext):
+    L1, L2 = ctx.params
+    gemm = ctx.md.gemm(L1, L2)
+    yield from ctx.charge(
+        ctx.machine.gemm(gemm.m, gemm.n, gemm.k, device=ctx.device)
+    )
+    if not ctx.real:
+        ctx.outputs["C"] = None
+        return
+    a = ctx.inputs["A"].reshape(gemm.k, gemm.m)
+    b = ctx.inputs["B"].reshape(gemm.k, gemm.n)
+    c_in = ctx.inputs.get("C")
+    # dgemm('T', 'N', ...): C += A^T B (C created fresh for 1-GEMM segments)
+    ctx.outputs["C"] = a.T @ b if c_in is None else c_in + a.T @ b
+
+
+def _reduce_run(ctx: TaskContext):
+    chain = ctx.md.chain(ctx.params[0])
+    yield from ctx.charge(ctx.machine.axpy(chain.c_size))
+    if ctx.real:
+        ctx.outputs["C"] = ctx.inputs["X"] + ctx.inputs["Y"]
+    else:
+        ctx.outputs["C"] = None
+
+
+def _sort_fused_run(ctx: TaskContext):
+    """Figure 5: four guarded SORT_4 calls accumulating into one master.
+
+    All data stays with one task (and therefore one OS thread), so the
+    later passes run cache-warm — the locality the paper credits for
+    v5's win.
+    """
+    chain = ctx.md.chain(ctx.params[0])
+    machine = ctx.machine
+    yield from ctx.charge(machine.zero_fill(chain.c_size))  # master := 0
+    master = None
+    tile = None
+    if ctx.real:
+        tile = ctx.inputs["C"].reshape(chain.tile_shape)
+        master = np.zeros(chain.c_size)
+    first = True
+    for sort in chain.active_sorts:
+        yield from ctx.charge(machine.sort4(chain.c_size, cache_warm=not first))
+        yield from ctx.charge(machine.axpy(chain.c_size, cache_warm=True))
+        if ctx.real:
+            master += (sort.sign * np.transpose(tile, sort.perm)).reshape(-1)
+        first = False
+    ctx.outputs["S"] = master
+
+
+def _sort_i_run(ctx: TaskContext):
+    """Figure 6/7: one SORT_4 into a private matrix (cold data)."""
+    L1, sort_index = ctx.params
+    chain = ctx.md.chain(L1)
+    sort = chain.sorts[sort_index]
+    yield from ctx.charge(ctx.machine.sort4(chain.c_size, cache_warm=False))
+    if ctx.real:
+        tile = ctx.inputs["C"].reshape(chain.tile_shape)
+        ctx.outputs["S"] = (sort.sign * np.transpose(tile, sort.perm)).reshape(-1)
+    else:
+        ctx.outputs["S"] = None
+
+
+def _make_write_run(seg_index_of_params):
+    """WRITE body: lock the node mutex once, accumulate all received
+    pieces into the Global Array memory, unlock (Figures 5-8)."""
+
+    def run(ctx: TaskContext):
+        L1 = ctx.params[0]
+        chain = ctx.md.chain(L1)
+        seg = chain.write_segs[seg_index_of_params(ctx.params)]
+        pieces = ctx.inputs["S"]
+        if not isinstance(pieces, list):
+            pieces = [pieces]
+        mutex = ctx.node.mutex("write_c")
+        yield from mutex.lock()
+        try:
+            for piece in pieces:
+                yield from ctx.charge(ctx.machine.axpy(seg.size))
+                if ctx.real:
+                    ctx.md.i2_array.accumulate_range_direct(seg.lo, seg.hi, piece)
+        finally:
+            yield from mutex.unlock()
+
+    return run
+
+
+def _cost(cpu: float, nbytes: float):
+    from repro.sim.cost import OpCost
+
+    return OpCost(cpu, nbytes)
+
+
+# ----------------------------------------------------------------------
+# the PTG itself
+# ----------------------------------------------------------------------
+def build_ccsd_ptg(variant: VariantSpec, md: Metadata) -> PTG:
+    """Construct the variant's PTG against inspection metadata ``md``.
+
+    The metadata is needed only for static bounds (the maximum number
+    of write segments any chain has); all per-instance facts stay
+    symbolic, evaluated at instantiation — the PTG itself remains
+    "Global Array agnostic", referring to data through the metadata IDs.
+    """
+    ptg = PTG(f"ccsd-{variant.name}")
+    P = md.P  # number of participating nodes (the priority expression's P)
+
+    def prio(offset: int):
+        if not variant.priorities:
+            return None
+        return lambda p, md: md.priority(p[0], offset)
+
+    gemm_domain = lambda md: [
+        (c.chain_id, g.position) for c in md.chains for g in c.gemms
+    ]
+    c_size = lambda p, md: md.chain(p[0]).c_size
+
+    # ---------------- READ_A / READ_B -------------------------------
+    for which, name, category in (
+        ("a", "READ_A", TaskCategory.READ_A),
+        ("b", "READ_B", TaskCategory.READ_B),
+    ):
+        flow_name = "A" if which == "a" else "B"
+        ptg.add(
+            TaskClass(
+                name=name,
+                params=("L1", "L2"),
+                domain=gemm_domain,
+                placement=(
+                    (lambda p, md: md.gemm(*p).a_owner)
+                    if which == "a"
+                    else (lambda p, md: md.gemm(*p).b_owner)
+                ),
+                run=_read_run(which, flow_name),
+                category=category,
+                priority=prio(variant.read_offset),
+                flows=[
+                    Flow(
+                        flow_name,
+                        FlowMode.READ,
+                        size_elems=(
+                            (lambda p, md: md.gemm(*p).a_hi - md.gemm(*p).a_lo)
+                            if which == "a"
+                            else (lambda p, md: md.gemm(*p).b_hi - md.gemm(*p).b_lo)
+                        ),
+                        outputs=[Dep("GEMM", lambda p, md: p, flow_name)],
+                    )
+                ],
+            )
+        )
+
+    # ---------------- DFILL ------------------------------------------
+    ptg.add(
+        TaskClass(
+            name="DFILL",
+            params=("L1", "S"),
+            domain=lambda md: [
+                (c.chain_id, s.seg_id)
+                for c in md.chains
+                for s in c.segments
+                if s.length > 1
+            ],
+            placement=lambda p, md: md.chain(p[0]).node,
+            run=_dfill_run,
+            category=TaskCategory.DFILL,
+            priority=prio(0),
+            flows=[
+                Flow(
+                    "C",
+                    FlowMode.WRITE,
+                    size_elems=c_size,
+                    outputs=[
+                        Dep(
+                            "GEMM",
+                            lambda p, md: (p[0], md.chain(p[0]).segments[p[1]].start),
+                            "C",
+                        )
+                    ],
+                )
+            ],
+        )
+    )
+
+    # ---------------- GEMM --------------------------------------------
+    def gemm_c_outputs() -> list[Dep]:
+        deps = [
+            # continue the serial mini-chain
+            Dep(
+                "GEMM",
+                lambda p, md: (p[0], p[1] + 1),
+                "C",
+                guard=lambda p, md: (
+                    md.gemm(*p).pos_in_seg < md.gemm(*p).seg_len - 1
+                ),
+            ),
+            # feed the reduction tree (left / right input)
+            Dep(
+                "REDUCE",
+                lambda p, md: (
+                    p[0],
+                    md.chain(p[0]).consumer_of[("seg", md.gemm(*p).seg_id)],
+                ),
+                "X",
+                guard=lambda p, md: _is_seg_tail(p, md)
+                and md.chain(p[0]).n_segments > 1
+                and _reduce_side(p, md) == "X",
+            ),
+            Dep(
+                "REDUCE",
+                lambda p, md: (
+                    p[0],
+                    md.chain(p[0]).consumer_of[("seg", md.gemm(*p).seg_id)],
+                ),
+                "Y",
+                guard=lambda p, md: _is_seg_tail(p, md)
+                and md.chain(p[0]).n_segments > 1
+                and _reduce_side(p, md) == "Y",
+            ),
+        ]
+        deps.extend(_sort_stage_deps(variant, root_is="GEMM"))
+        return deps
+
+    ptg.add(
+        TaskClass(
+            name="GEMM",
+            params=("L1", "L2"),
+            domain=gemm_domain,
+            placement=lambda p, md: md.chain(p[0]).node,
+            run=_gemm_run,
+            category=TaskCategory.GEMM,
+            priority=prio(variant.gemm_offset),
+            accelerated=True,  # GEMMs may run on accelerators when present
+            flows=[
+                Flow(
+                    "A",
+                    FlowMode.READ,
+                    size_elems=lambda p, md: md.gemm(*p).a_hi - md.gemm(*p).a_lo,
+                    inputs=[Dep("READ_A", lambda p, md: p, "A")],
+                ),
+                Flow(
+                    "B",
+                    FlowMode.READ,
+                    size_elems=lambda p, md: md.gemm(*p).b_hi - md.gemm(*p).b_lo,
+                    inputs=[Dep("READ_B", lambda p, md: p, "B")],
+                ),
+                Flow(
+                    "C",
+                    FlowMode.RW,
+                    size_elems=c_size,
+                    inputs=[
+                        Dep(
+                            "DFILL",
+                            lambda p, md: (p[0], md.gemm(*p).seg_id),
+                            "C",
+                            guard=lambda p, md: md.gemm(*p).pos_in_seg == 0
+                            and md.gemm(*p).seg_len > 1,
+                        ),
+                        Dep(
+                            "GEMM",
+                            lambda p, md: (p[0], p[1] - 1),
+                            "C",
+                            guard=lambda p, md: md.gemm(*p).pos_in_seg > 0,
+                        ),
+                    ],
+                    outputs=gemm_c_outputs(),
+                ),
+            ],
+        )
+    )
+
+    # ---------------- REDUCE -------------------------------------------
+    def reduce_input_deps(flow: str, side: str) -> list[Dep]:
+        def source(p, md):
+            reduce = md.chain(p[0]).reduces[p[1]]
+            return reduce.left if side == "left" else reduce.right
+
+        return [
+            Dep(
+                "GEMM",
+                lambda p, md: (
+                    p[0],
+                    md.chain(p[0]).segments[source(p, md)[1]].last_position,
+                ),
+                flow,
+                guard=lambda p, md: source(p, md)[0] == "seg",
+            ),
+            Dep(
+                "REDUCE",
+                lambda p, md: (p[0], source(p, md)[1]),
+                flow,
+                guard=lambda p, md: source(p, md)[0] == "red",
+            ),
+        ]
+
+    def reduce_c_outputs() -> list[Dep]:
+        deps = [
+            Dep(
+                "REDUCE",
+                lambda p, md: (p[0], md.chain(p[0]).consumer_of[("red", p[1])]),
+                "X",
+                guard=lambda p, md: not md.chain(p[0]).reduces[p[1]].is_root
+                and _reduce_side_red(p, md) == "X",
+            ),
+            Dep(
+                "REDUCE",
+                lambda p, md: (p[0], md.chain(p[0]).consumer_of[("red", p[1])]),
+                "Y",
+                guard=lambda p, md: not md.chain(p[0]).reduces[p[1]].is_root
+                and _reduce_side_red(p, md) == "Y",
+            ),
+        ]
+        deps.extend(_sort_stage_deps(variant, root_is="REDUCE"))
+        return deps
+
+    ptg.add(
+        TaskClass(
+            name="REDUCE",
+            params=("L1", "R"),
+            domain=lambda md: [
+                (c.chain_id, r.step) for c in md.chains for r in c.reduces
+            ],
+            placement=lambda p, md: md.chain(p[0]).node,
+            run=_reduce_run,
+            category=TaskCategory.REDUCE,
+            priority=prio(0),
+            flows=[
+                Flow("X", FlowMode.READ, c_size, inputs=reduce_input_deps("X", "left")),
+                Flow("Y", FlowMode.READ, c_size, inputs=reduce_input_deps("Y", "right")),
+                Flow("C", FlowMode.WRITE, c_size, outputs=reduce_c_outputs()),
+            ],
+        )
+    )
+
+    # ---------------- SORT stage ---------------------------------------
+    def root_input_deps() -> list[Dep]:
+        return [
+            Dep(
+                "GEMM",
+                lambda p, md: md.chain(p[0]).root_producer()[1],
+                "C",
+                guard=lambda p, md: md.chain(p[0]).root_producer()[0] == "GEMM",
+            ),
+            Dep(
+                "REDUCE",
+                lambda p, md: md.chain(p[0]).root_producer()[1],
+                "C",
+                guard=lambda p, md: md.chain(p[0]).root_producer()[0] == "REDUCE",
+            ),
+        ]
+
+    def write_target_deps(write_class: str, param_builder) -> list[Dep]:
+        """S -> WRITE instances, one per GA owner segment (Figure 8).
+
+        Each dep slices the sorted matrix down to its node's range and
+        costs only those bytes on the wire.
+        """
+        deps = []
+        for w in range(md.max_write_segs):
+
+            def transform(data, p, md, w=w):
+                chain = md.chain(p[0])
+                seg = chain.write_segs[w]
+                return data[seg.lo - chain.target_lo : seg.hi - chain.target_lo]
+
+            deps.append(
+                Dep(
+                    write_class,
+                    (lambda p, md, w=w: param_builder(p, w)),
+                    "S",
+                    guard=lambda p, md, w=w: w < len(md.chain(p[0]).write_segs),
+                    transform=transform,
+                    size_elems=lambda p, md, w=w: md.chain(p[0]).write_segs[w].size,
+                )
+            )
+        return deps
+
+    if variant.fused_sort:
+        ptg.add(
+            TaskClass(
+                name="SORT",
+                params=("L1",),
+                domain=lambda md: [(c.chain_id,) for c in md.chains],
+                placement=lambda p, md: md.chain(p[0]).node,
+                run=_sort_fused_run,
+                category=TaskCategory.SORT,
+                priority=prio(0),
+                flows=[
+                    Flow("C", FlowMode.READ, c_size, inputs=root_input_deps()),
+                    Flow(
+                        "S",
+                        FlowMode.WRITE,
+                        c_size,
+                        outputs=write_target_deps("WRITE_C", lambda p, w: (p[0], w)),
+                    ),
+                ],
+            )
+        )
+    else:
+        write_class = "WRITE_C" if variant.single_write else "WRITE_C_I"
+        param_builder = (
+            (lambda p, w: (p[0], w))
+            if variant.single_write
+            else (lambda p, w: (p[0], p[1], w))
+        )
+        ptg.add(
+            TaskClass(
+                name="SORT_I",
+                params=("L1", "I"),
+                domain=lambda md: [
+                    (c.chain_id, s.sort_index)
+                    for c in md.chains
+                    for s in c.active_sorts
+                ],
+                placement=lambda p, md: md.chain(p[0]).node,
+                run=_sort_i_run,
+                category=TaskCategory.SORT,
+                priority=prio(0),
+                flows=[
+                    Flow("C", FlowMode.READ, c_size, inputs=root_input_deps()),
+                    Flow(
+                        "S",
+                        FlowMode.WRITE,
+                        c_size,
+                        outputs=write_target_deps(write_class, param_builder),
+                    ),
+                ],
+            )
+        )
+
+    # ---------------- WRITE stage --------------------------------------
+    seg_size = lambda p, md: md.chain(p[0]).write_segs[p[-1]].size
+    if variant.single_write:
+        if variant.fused_sort:
+            write_inputs = [Dep("SORT", lambda p, md: (p[0],), "S")]
+        else:
+            write_inputs = [
+                Dep(
+                    "SORT_I",
+                    (lambda p, md, i=i: (p[0], i)),
+                    "S",
+                    guard=(lambda p, md, i=i: md.chain(p[0]).sorts[i].active),
+                )
+                for i in range(4)
+            ]
+        ptg.add(
+            TaskClass(
+                name="WRITE_C",
+                params=("L1", "W"),
+                domain=lambda md: [
+                    (c.chain_id, w.index) for c in md.chains for w in c.write_segs
+                ],
+                placement=lambda p, md: md.chain(p[0]).write_segs[p[1]].node,
+                run=_make_write_run(lambda p: p[1]),
+                category=TaskCategory.WRITE,
+                priority=prio(0),
+                flows=[Flow("S", FlowMode.READ, seg_size, inputs=write_inputs)],
+            )
+        )
+    else:
+        ptg.add(
+            TaskClass(
+                name="WRITE_C_I",
+                params=("L1", "I", "W"),
+                domain=lambda md: [
+                    (c.chain_id, s.sort_index, w.index)
+                    for c in md.chains
+                    for s in c.active_sorts
+                    for w in c.write_segs
+                ],
+                placement=lambda p, md: md.chain(p[0]).write_segs[p[2]].node,
+                run=_make_write_run(lambda p: p[2]),
+                category=TaskCategory.WRITE,
+                priority=prio(0),
+                flows=[
+                    Flow(
+                        "S",
+                        FlowMode.READ,
+                        seg_size,
+                        inputs=[Dep("SORT_I", lambda p, md: (p[0], p[1]), "S")],
+                    )
+                ],
+            )
+        )
+
+    return ptg
+
+
+# ----------------------------------------------------------------------
+# guard helpers
+# ----------------------------------------------------------------------
+def _is_seg_tail(p, md) -> bool:
+    gemm = md.gemm(*p)
+    return gemm.pos_in_seg == gemm.seg_len - 1
+
+
+def _reduce_side(p, md) -> str:
+    """Which REDUCE input ('X' left / 'Y' right) a segment tail feeds."""
+    gemm = md.gemm(*p)
+    chain = md.chain(p[0])
+    step = chain.consumer_of[("seg", gemm.seg_id)]
+    return "X" if chain.reduces[step].left == ("seg", gemm.seg_id) else "Y"
+
+
+def _reduce_side_red(p, md) -> str:
+    """Which input a non-root REDUCE step feeds in its consumer."""
+    chain = md.chain(p[0])
+    step = chain.consumer_of[("red", p[1])]
+    return "X" if chain.reduces[step].left == ("red", p[1]) else "Y"
+
+
+def _sort_stage_deps(variant: VariantSpec, root_is: str) -> list[Dep]:
+    """C -> SORT stage deps, guarded on being the chain's root producer."""
+
+    def is_root(p, md) -> bool:
+        cls, params = md.chain(p[0]).root_producer()
+        return cls == root_is and tuple(params) == tuple(p)
+
+    if variant.fused_sort:
+        return [
+            Dep("SORT", lambda p, md: (p[0],), "C", guard=is_root),
+        ]
+    return [
+        Dep(
+            "SORT_I",
+            (lambda p, md, i=i: (p[0], i)),
+            "C",
+            guard=(
+                lambda p, md, i=i: is_root(p, md)
+                and md.chain(p[0]).sorts[i].active
+            ),
+        )
+        for i in range(4)
+    ]

@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per paper artifact.
+
+- :mod:`repro.experiments.calibration` — the frozen machine constants
+  and scale presets every experiment uses.
+- :mod:`repro.experiments.fig9` — the Figure 9 sweep (original + v1-v5
+  across cores/node) and its shape checks.
+- :mod:`repro.experiments.traces` — the Figure 10/11 (v4 vs v2) and
+  Figure 12/13 (original) trace experiments.
+- :mod:`repro.experiments.equivalence` — the correlation-energy
+  agreement experiment (Section IV-A).
+- :mod:`repro.experiments.ablations` — priorities offset, chain
+  segmentation height, write organization, and load-balancing sweeps.
+"""
+
+from repro.experiments.calibration import (
+    CORE_COUNTS,
+    PAPER_MACHINE,
+    PAPER_NODES,
+    bench_scale,
+    make_cluster,
+    make_workload,
+)
+from repro.experiments.fig9 import Fig9Result, fig9_shape_checks, run_fig9, run_point
+from repro.experiments.traces import run_fig10_11, run_fig12_13
+from repro.experiments.equivalence import run_equivalence
+
+__all__ = [
+    "CORE_COUNTS",
+    "PAPER_MACHINE",
+    "PAPER_NODES",
+    "bench_scale",
+    "make_cluster",
+    "make_workload",
+    "Fig9Result",
+    "fig9_shape_checks",
+    "run_fig9",
+    "run_point",
+    "run_fig10_11",
+    "run_fig12_13",
+    "run_equivalence",
+]

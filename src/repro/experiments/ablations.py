@@ -1,0 +1,154 @@
+"""Ablation experiments for the design decisions the paper calls out.
+
+- :func:`sweep_priority_offsets` — Section IV-C builds a "data
+  prefetching pipeline of depth 5*P" with the read offset; sweep it.
+- :func:`sweep_segment_height` — Section IV-A: "the height of the
+  shorter chains can vary from one (maximum parallelism) to the height
+  of the original chain (maximum locality). We consider the two extreme
+  cases"; we also run the middle.
+- :func:`sweep_write_organization` — Section V's v3-vs-v5 discussion:
+  single vs parallel WRITE crossed with the mutex operation cost.
+- :func:`compare_load_balancing` — Section IV-D: NXTVAL global work
+  stealing vs static round-robin, on the legacy runtime where both are
+  expressible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.executor import run_over_parsec
+from repro.core.variants import V4, V5, VariantSpec
+from repro.experiments.calibration import PAPER_NODES, make_cluster, make_workload
+from repro.legacy.runtime import LegacyConfig, LegacyRuntime
+from repro.sim.cost import MachineModel
+
+__all__ = [
+    "sweep_priority_offsets",
+    "sweep_segment_height",
+    "sweep_write_organization",
+    "compare_load_balancing",
+    "compare_scheduler_policies",
+]
+
+
+def _variant_time(
+    variant: VariantSpec,
+    scale: str,
+    cores_per_node: int,
+    n_nodes: int = PAPER_NODES,
+    machine: Optional[MachineModel] = None,
+) -> float:
+    cluster = make_cluster(cores_per_node, n_nodes=n_nodes, machine=machine)
+    workload = make_workload(cluster, scale=scale)
+    return run_over_parsec(cluster, workload.subroutine, variant).execution_time
+
+
+def sweep_priority_offsets(
+    offsets: Sequence[int] = (0, 1, 5, 10),
+    scale: str = "paper",
+    cores_per_node: int = 7,
+) -> dict[int, float]:
+    """Execution time of v4 as the READ priority offset varies.
+
+    Offset 0 removes the prefetch pipeline (reads no longer outrank
+    GEMMs); the paper's +5 gives depth 5*P.
+    """
+    out: dict[int, float] = {}
+    for offset in offsets:
+        variant = V4.with_overrides(name=f"v4.read{offset}", read_offset=offset)
+        out[offset] = _variant_time(variant, scale, cores_per_node)
+    return out
+
+
+def sweep_segment_height(
+    heights: Sequence[Optional[int]] = (1, 2, 4, None),
+    scale: str = "paper",
+    cores_per_node: int = 15,
+) -> dict[str, float]:
+    """Execution time of the v4 organization across chain heights.
+
+    ``None`` is the original full chain (v1's GEMM organization);
+    ``1`` is full parallelism (v4's).
+    """
+    out: dict[str, float] = {}
+    for height in heights:
+        label = "full-chain" if height is None else f"height-{height}"
+        variant = V4.with_overrides(name=f"v4.{label}", segment_height=height)
+        out[label] = _variant_time(variant, scale, cores_per_node)
+    return out
+
+
+def sweep_write_organization(
+    mutex_costs: Sequence[float] = (4.0e-7, 4.0e-6, 4.0e-5),
+    scale: str = "paper",
+    cores_per_node: int = 15,
+) -> dict[str, dict[str, float]]:
+    """Single vs parallel WRITE as the mutex op cost grows.
+
+    The paper attributes part of v5's win over v3 to v3's extra
+    "system wide operations required to lock and unlock the mutex";
+    raising the lock cost should widen that gap.
+    """
+    from repro.experiments.calibration import PAPER_MACHINE
+
+    single = V5
+    parallel = V5.with_overrides(
+        name="v5.parallel-write", fused_sort=False, single_write=False
+    )
+    out: dict[str, dict[str, float]] = {}
+    for cost in mutex_costs:
+        machine = PAPER_MACHINE.with_overrides(
+            mutex_lock_s=cost, mutex_unlock_s=cost
+        )
+        out[f"lock={cost:g}s"] = {
+            "single-write (v5)": _variant_time(
+                single, scale, cores_per_node, machine=machine
+            ),
+            "parallel-write": _variant_time(
+                parallel, scale, cores_per_node, machine=machine
+            ),
+        }
+    return out
+
+
+def compare_scheduler_policies(
+    scale: str = "paper", cores_per_node: int = 7, n_nodes: int = PAPER_NODES
+) -> dict[str, float]:
+    """PaRSEC's scheduling disciplines on the v4 workload.
+
+    "PaRSEC includes multiple task scheduling algorithms" — the
+    priority-aware default vs FIFO (no priorities honoured) vs LIFO
+    (newest-first, cache-oriented).
+    """
+    from repro.parsec.scheduler import SchedulerPolicy
+
+    out: dict[str, float] = {}
+    for policy in SchedulerPolicy:
+        cluster = make_cluster(cores_per_node, n_nodes=n_nodes)
+        workload = make_workload(cluster, scale=scale)
+        run = run_over_parsec(cluster, workload.subroutine, V4, policy=policy)
+        out[policy.value] = run.execution_time
+    return out
+
+
+def compare_load_balancing(
+    scale: str = "paper", cores_per_node: int = 7, n_nodes: int = PAPER_NODES
+) -> dict[str, float]:
+    """NXTVAL work stealing vs static rank-cyclic chains (legacy code).
+
+    Also reports the PaRSEC approach (static round-robin across nodes +
+    dynamic within node, v4) on the same workload for context.
+    """
+    out: dict[str, float] = {}
+    for label, use_nxtval in (("nxtval-stealing", True), ("static-cyclic", False)):
+        cluster = make_cluster(cores_per_node, n_nodes=n_nodes)
+        workload = make_workload(cluster, scale=scale)
+        result = LegacyRuntime(
+            cluster, workload.ga, LegacyConfig(use_nxtval=use_nxtval)
+        ).execute_subroutine(workload.subroutine)
+        out[label] = result.execution_time
+    out["parsec-v4 (static nodes + dynamic cores)"] = _variant_time(
+        V4, scale, cores_per_node, n_nodes=n_nodes
+    )
+    return out

@@ -1,0 +1,193 @@
+"""The GlobalArray object: distributed storage with local-access views.
+
+In ``DataMode.REAL`` each node's segment is a real NumPy array living in
+that node's (simulated) memory; ``ga_access`` hands out views exactly
+like the real library does — local data only. In ``DataMode.SYNTH`` no
+storage is allocated and data-returning calls yield ``None``; every
+simulated cost stays identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ga.distribution import Distribution, Segment
+from repro.sim.cluster import DataMode
+from repro.util.errors import GlobalArrayError
+
+__all__ = ["GlobalArray"]
+
+
+class GlobalArray:
+    """A one-dimensional distributed array of float64.
+
+    Created through :meth:`repro.ga.runtime.GlobalArrays.create`; do not
+    instantiate directly. Element ranges use half-open ``[lo, hi)``
+    indexing throughout.
+    """
+
+    def __init__(
+        self,
+        handle: int,
+        name: str,
+        total: int,
+        distribution: Distribution,
+        data_mode: DataMode,
+    ) -> None:
+        self.handle = handle
+        self.name = name
+        self.total = total
+        self.distribution = distribution
+        self.data_mode = data_mode
+        self._destroyed = False
+        if data_mode is DataMode.REAL:
+            self._segments: Optional[list[np.ndarray]] = [
+                np.zeros(distribution.node_range(node)[1] - distribution.node_range(node)[0])
+                for node in range(distribution.n_nodes)
+            ]
+        else:
+            self._segments = None
+
+    # ------------------------------------------------------------------
+    # guards
+    # ------------------------------------------------------------------
+    def _check_live(self) -> None:
+        if self._destroyed:
+            raise GlobalArrayError(f"array {self.name!r} has been destroyed")
+
+    def destroy(self) -> None:
+        """Release the array; any further access is an error."""
+        self._destroyed = True
+        self._segments = None
+
+    @property
+    def holds_data(self) -> bool:
+        """True when real NumPy storage backs the array."""
+        return self._segments is not None
+
+    def nbytes(self, lo: int, hi: int) -> float:
+        """Wire/memory size of the ``[lo, hi)`` range (float64 elements)."""
+        return 8.0 * (hi - lo)
+
+    # ------------------------------------------------------------------
+    # local access (what ga_access() allows)
+    # ------------------------------------------------------------------
+    def ga_access(self, node: int, lo: int, hi: int) -> np.ndarray:
+        """View of ``[lo, hi)``, which must lie entirely on ``node``.
+
+        Mirrors ``ga_access()``: only locally-resident data may be
+        touched this way; crossing a node boundary is an error.
+        """
+        self._check_live()
+        if self._segments is None:
+            raise GlobalArrayError("ga_access() is unavailable in SYNTH data mode")
+        node_lo, node_hi = self.distribution.node_range(node)
+        if not (node_lo <= lo <= hi <= node_hi):
+            raise GlobalArrayError(
+                f"ga_access on node {node}: [{lo}, {hi}) not within local "
+                f"range [{node_lo}, {node_hi})"
+            )
+        return self._segments[node][lo - node_lo : hi - node_lo]
+
+    def read_segment(self, segment: Segment) -> Optional[np.ndarray]:
+        """Copy of one owner segment's data (handler-side helper)."""
+        self._check_live()
+        if self._segments is None:
+            return None
+        return self.ga_access(segment.node, segment.lo, segment.hi).copy()
+
+    def accumulate_segment(self, segment: Segment, data: Optional[np.ndarray]) -> None:
+        """In-place add of ``data`` into one owner segment (handler-side)."""
+        self._check_live()
+        if self._segments is None:
+            return
+        if data is None:
+            raise GlobalArrayError("REAL-mode accumulate received no data")
+        view = self.ga_access(segment.node, segment.lo, segment.hi)
+        view += data
+
+    # ------------------------------------------------------------------
+    # direct range access (PaRSEC-side: data already local by placement)
+    # ------------------------------------------------------------------
+    def read_range_direct(self, lo: int, hi: int) -> Optional[np.ndarray]:
+        """Copy of ``[lo, hi)`` regardless of owner boundaries, uncosted.
+
+        Used by PaRSEC READ tasks, which are *placed on* the owner node
+        (``find_last_segment_owner``) and touch the data through
+        ``ga_access``-style local pointers; the simulated memory cost is
+        charged by the task body, not here. Returns None in SYNTH mode.
+        """
+        self._check_live()
+        if self._segments is None:
+            return None
+        if not (0 <= lo <= hi <= self.total):
+            raise GlobalArrayError(f"range [{lo}, {hi}) out of bounds {self.total}")
+        out = np.empty(hi - lo)
+        for segment in self.distribution.segments(lo, hi):
+            node_lo, _ = self.distribution.node_range(segment.node)
+            local = self._segments[segment.node]
+            out[segment.lo - lo : segment.hi - lo] = local[
+                segment.lo - node_lo : segment.hi - node_lo
+            ]
+        return out
+
+    def accumulate_range_direct(
+        self, lo: int, hi: int, data: Optional[np.ndarray]
+    ) -> None:
+        """In-place ``array[lo:hi] += data`` across owners, uncosted.
+
+        Used by PaRSEC WRITE_C task bodies, which run on the owner node
+        under the node's write mutex; the memory traffic and mutex costs
+        are charged by the task body. No-op in SYNTH mode.
+        """
+        self._check_live()
+        if self._segments is None:
+            return
+        if data is None:
+            raise GlobalArrayError("REAL-mode accumulate received no data")
+        if not (0 <= lo <= hi <= self.total):
+            raise GlobalArrayError(f"range [{lo}, {hi}) out of bounds {self.total}")
+        if data.shape != (hi - lo,):
+            raise GlobalArrayError(f"data shape {data.shape} != ({hi - lo},)")
+        for segment in self.distribution.segments(lo, hi):
+            node_lo, _ = self.distribution.node_range(segment.node)
+            local = self._segments[segment.node]
+            local[segment.lo - node_lo : segment.hi - node_lo] += data[
+                segment.lo - lo : segment.hi - lo
+            ]
+
+    # ------------------------------------------------------------------
+    # whole-array conveniences (test/setup only — not cost-modeled)
+    # ------------------------------------------------------------------
+    def gather(self) -> np.ndarray:
+        """Copy of the whole array contents (testing convenience)."""
+        self._check_live()
+        if self._segments is None:
+            raise GlobalArrayError("gather() is unavailable in SYNTH data mode")
+        return np.concatenate([seg for seg in self._segments]) if self.total else np.zeros(0)
+
+    def scatter(self, values: np.ndarray) -> None:
+        """Overwrite the whole array contents (setup convenience)."""
+        self._check_live()
+        if self._segments is None:
+            return
+        if values.shape != (self.total,):
+            raise GlobalArrayError(
+                f"scatter expects shape ({self.total},), got {values.shape}"
+            )
+        for node in range(self.distribution.n_nodes):
+            lo, hi = self.distribution.node_range(node)
+            self._segments[node][:] = values[lo:hi]
+
+    def zero(self) -> None:
+        """Reset every element to zero (setup convenience)."""
+        self._check_live()
+        if self._segments is None:
+            return
+        for seg in self._segments:
+            seg[:] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalArray({self.name!r}, n={self.total}, mode={self.data_mode.value})"

@@ -1,0 +1,90 @@
+"""NXTVAL: the shared-counter work-stealing primitive.
+
+The original TCE code load-balances by having every rank atomically
+fetch-and-increment one global counter per unit of work ("NXTVAL",
+Section IV-D). The counter lives on a single home node; every increment
+is a remote read-modify-write serialized by that node's counter server.
+With 32·c ranks each paying a round trip plus queueing at one server,
+the overhead grows with scale — the paper's argument for replacing it
+with static round-robin distribution in the PaRSEC version.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.sim.engine import SimEvent
+
+__all__ = ["NxtvalServer"]
+
+_REQ_BYTES = 32.0
+_REPLY_BYTES = 32.0
+
+_instance_ids = itertools.count()
+
+
+class NxtvalServer:
+    """Fetch-and-increment counter served FIFO at a home node.
+
+    Each server instance owns a distinct inbox: the original code uses
+    a fresh shared counter per work level, and concurrent counters must
+    not steal each other's requests.
+    """
+
+    def __init__(self, ga_runtime, home_node: int = 0) -> None:
+        self.ga = ga_runtime
+        self.engine = ga_runtime.engine
+        self.machine = ga_runtime.machine
+        self.home_node = home_node
+        self.inbox_name = f"ga.nxtval#{next(_instance_ids)}"
+        self._counter = 0
+        self.total_requests = 0
+        self.engine.process(
+            self._serve(ga_runtime.cluster.nodes[home_node]),
+            name=f"nxtval.server:{self.inbox_name}",
+        )
+
+    def reset(self) -> None:
+        """Restart the ticket sequence (the original code does this per level)."""
+        self._counter = 0
+
+    @property
+    def value(self) -> int:
+        """Next ticket that would be handed out."""
+        return self._counter
+
+    def next(self, requester: int):
+        """Generator helper: atomically fetch-and-increment; returns the ticket.
+
+        Charges the caller-side issue overhead, then blocks for the
+        round trip and the (possibly queued) service at the home node.
+        """
+        self.total_requests += 1
+        yield self.engine.timeout(self.machine.nxtval_issue_s)
+        reply: SimEvent = self.engine.event()
+        self.ga.cluster.network.send(
+            requester,
+            self.home_node,
+            _REQ_BYTES,
+            reply,
+            inbox=self.inbox_name,
+            tag="nxtval",
+        )
+        ticket = yield reply
+        return ticket
+
+    def _serve(self, node):
+        inbox = node.inbox(self.inbox_name)
+        while True:
+            message = yield inbox.get()
+            yield self.engine.timeout(self.machine.nxtval_service_s)
+            ticket = self._counter
+            self._counter += 1
+            self.ga.cluster.network.send(
+                node.node_id,
+                message.src,
+                _REPLY_BYTES,
+                ticket,
+                tag="nxtval.reply",
+                on_deliver=lambda msg, ev=message.payload: ev.succeed(msg.payload),
+            )

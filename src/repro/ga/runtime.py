@@ -1,0 +1,238 @@
+"""The Global Arrays runtime: per-node handlers and one-sided ops.
+
+Every node runs a single *GA handler* process (the stand-in for the
+library's progress engine). One-sided ``get``/``acc`` requests travel
+over the simulated network to the owner's handler, which serializes
+them FIFO, pays a per-request software overhead, moves the touched
+bytes through the owner's shared memory bandwidth, and replies. The
+caller blocks until all segment replies (a range may straddle owners)
+have arrived — the semantics ``GET_HASH_BLOCK``/``ADD_HASH_BLOCK``
+expose to the TCE code.
+
+This is deliberately the *contended* path: when 32·c legacy ranks all
+issue blocking gets, the FIFO handlers and the shared bandwidth produce
+the saturation the paper's Figure 9 shows for the original code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.ga.array import GlobalArray
+from repro.ga.distribution import Distribution, Segment
+from repro.sim.cluster import Cluster, DataMode
+from repro.sim.engine import SimEvent, all_of
+from repro.util.errors import GlobalArrayError
+
+__all__ = ["GlobalArrays"]
+
+#: Size of a request header / ack message on the wire.
+_CTRL_BYTES = 64.0
+
+
+class _Request:
+    """One segment-granular request sitting in a handler inbox."""
+
+    __slots__ = ("kind", "array", "segment", "data", "requester", "reply_event")
+
+    def __init__(
+        self,
+        kind: str,
+        array: GlobalArray,
+        segment: Segment,
+        data: Optional[np.ndarray],
+        requester: int,
+        reply_event: SimEvent,
+    ) -> None:
+        self.kind = kind
+        self.array = array
+        self.segment = segment
+        self.data = data
+        self.requester = requester
+        self.reply_event = reply_event
+
+
+class GlobalArrays:
+    """Factory for distributed arrays plus the one-sided operation API.
+
+    All data-moving methods are *generator helpers*: call them from a
+    simulated process with ``yield from``. They return the fetched NumPy
+    data (REAL mode) or ``None`` (SYNTH mode).
+    """
+
+    INBOX = "ga.req"
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.machine = cluster.machine
+        self._handles = itertools.count(1)
+        self._arrays: dict[str, GlobalArray] = {}
+        for node in cluster.nodes:
+            self.engine.process(self._handler(node), name=f"ga.handler{node.node_id}")
+        # statistics
+        self.gets = 0
+        self.accs = 0
+        self.bytes_fetched = 0.0
+        self.bytes_accumulated = 0.0
+
+    # ------------------------------------------------------------------
+    # array lifecycle
+    # ------------------------------------------------------------------
+    def create(self, name: str, total: int) -> GlobalArray:
+        """Collectively create a distributed array of ``total`` float64s."""
+        if name in self._arrays:
+            raise GlobalArrayError(f"array name {name!r} already in use")
+        array = GlobalArray(
+            handle=next(self._handles),
+            name=name,
+            total=total,
+            distribution=Distribution(total, self.cluster.n_nodes),
+            data_mode=self.cluster.data_mode,
+        )
+        self._arrays[name] = array
+        return array
+
+    def lookup(self, name: str) -> GlobalArray:
+        """Find an existing array by name."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise GlobalArrayError(f"no array named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # one-sided operations (generator helpers)
+    # ------------------------------------------------------------------
+    def fetch(self, requester: int, array: GlobalArray, lo: int, hi: int):
+        """Blocking one-sided get of ``[lo, hi)``; returns the data.
+
+        Issues one request per owner segment, waits for every reply,
+        then pays the requester-side cost of landing the bytes in local
+        memory. Returns a contiguous float64 array (REAL) or None.
+        """
+        array._check_live()
+        segments = array.distribution.segments(lo, hi)
+        self.gets += 1
+        nbytes = array.nbytes(lo, hi)
+        self.bytes_fetched += nbytes
+        events = []
+        for segment in segments:
+            event = self.engine.event()
+            request = _Request("get", array, segment, None, requester, event)
+            self.cluster.network.send(
+                requester,
+                segment.node,
+                _CTRL_BYTES,
+                request,
+                inbox=self.INBOX,
+                tag=f"get:{array.name}",
+            )
+            events.append(event)
+        replies = yield all_of(self.engine, events)
+        if nbytes > 0:
+            # land the received bytes in the requester's memory
+            yield self.cluster.nodes[requester].membw.transfer(nbytes)
+        if self.cluster.data_mode is not DataMode.REAL:
+            return None
+        out = np.empty(hi - lo)
+        for segment, chunk in zip(segments, replies):
+            out[segment.lo - lo : segment.hi - lo] = chunk
+        return out
+
+    def accumulate(
+        self,
+        requester: int,
+        array: GlobalArray,
+        lo: int,
+        hi: int,
+        data: Optional[np.ndarray],
+    ):
+        """Blocking one-sided accumulate: ``array[lo:hi] += data``.
+
+        Atomic per element — the owner's FIFO handler serializes
+        concurrent accumulates into the same node. Waits for all acks.
+        """
+        array._check_live()
+        if self.cluster.data_mode is DataMode.REAL:
+            if data is None:
+                raise GlobalArrayError("REAL-mode accumulate requires data")
+            if data.shape != (hi - lo,):
+                raise GlobalArrayError(
+                    f"accumulate data shape {data.shape} != ({hi - lo},)"
+                )
+        segments = array.distribution.segments(lo, hi)
+        self.accs += 1
+        nbytes = array.nbytes(lo, hi)
+        self.bytes_accumulated += nbytes
+        if nbytes > 0:
+            # read the outgoing buffer from requester memory
+            yield self.cluster.nodes[requester].membw.transfer(nbytes)
+        events = []
+        for segment in segments:
+            event = self.engine.event()
+            chunk = None
+            if data is not None:
+                chunk = data[segment.lo - lo : segment.hi - lo]
+            request = _Request("acc", array, segment, chunk, requester, event)
+            self.cluster.network.send(
+                requester,
+                segment.node,
+                _CTRL_BYTES + 8.0 * segment.size,
+                request,
+                inbox=self.INBOX,
+                tag=f"acc:{array.name}",
+            )
+            events.append(event)
+        yield all_of(self.engine, events)
+
+    # ------------------------------------------------------------------
+    # the per-node handler process
+    # ------------------------------------------------------------------
+    def _handler(self, node):
+        inbox = node.inbox(self.INBOX)
+        while True:
+            message = yield inbox.get()
+            request: _Request = message.payload
+            segment = request.segment
+            seg_bytes = 8.0 * segment.size
+            # FIFO service: fixed software overhead plus the effective
+            # one-sided serving rate of the GA path (well below NIC line
+            # rate — see MachineModel.ga_service_bytes_per_s). This
+            # single server per node is the contention point that caps
+            # the original code's scaling in the Figure 9 reproduction.
+            yield self.engine.timeout(
+                self.machine.ga_request_overhead_s
+                + seg_bytes / self.machine.ga_service_bytes_per_s
+            )
+            if request.kind == "get":
+                if seg_bytes > 0:
+                    yield node.membw.transfer(seg_bytes)  # read from owner memory
+                payload = request.array.read_segment(segment)
+                self.cluster.network.send(
+                    node.node_id,
+                    request.requester,
+                    seg_bytes,
+                    payload,
+                    tag=f"get.reply:{request.array.name}",
+                    on_deliver=lambda msg, ev=request.reply_event: ev.succeed(
+                        msg.payload
+                    ),
+                )
+            elif request.kind == "acc":
+                if seg_bytes > 0:
+                    # read target, read incoming, write target
+                    yield node.membw.transfer(3.0 * seg_bytes)
+                request.array.accumulate_segment(segment, request.data)
+                self.cluster.network.send(
+                    node.node_id,
+                    request.requester,
+                    _CTRL_BYTES,
+                    None,
+                    tag=f"acc.ack:{request.array.name}",
+                    on_deliver=lambda msg, ev=request.reply_event: ev.succeed(None),
+                )
+            else:  # pragma: no cover - defensive
+                raise GlobalArrayError(f"unknown GA request kind {request.kind!r}")

@@ -1,0 +1,53 @@
+"""Barrier synchronization (GA_Sync).
+
+The TCE-generated CC code splits its work into seven levels "with an
+explicit synchronization step between those levels" — so chains are
+only stealable within a level. :class:`Barrier` is cyclic: the same
+object synchronizes every level in turn.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine, SimEvent
+from repro.util.errors import SimulationError
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """Cyclic barrier for a fixed set of ``parties`` simulated threads."""
+
+    def __init__(self, engine: Engine, parties: int, overhead: float = 0.0) -> None:
+        if parties < 1:
+            raise SimulationError(f"barrier needs >= 1 party, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self.overhead = overhead
+        self._waiting: list[SimEvent] = []
+        self.generation = 0
+
+    @property
+    def arrived(self) -> int:
+        """Parties already waiting at the current generation."""
+        return len(self._waiting)
+
+    def arrive(self):
+        """Generator helper: block until all parties have arrived.
+
+        Each arrival pays the per-rank barrier overhead first (the
+        GA_Sync software cost), so a barrier is never free even when
+        everyone shows up simultaneously.
+        """
+        if self.overhead > 0:
+            yield self.engine.timeout(self.overhead)
+        event = self.engine.event()
+        self._waiting.append(event)
+        if len(self._waiting) == self.parties:
+            waiting, self._waiting = self._waiting, []
+            self.generation += 1
+            for waiter in waiting:
+                waiter.succeed(self.generation)
+        elif len(self._waiting) > self.parties:  # pragma: no cover - defensive
+            raise SimulationError("more arrivals than barrier parties")
+        generation = yield event
+        return generation

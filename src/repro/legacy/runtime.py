@@ -1,0 +1,170 @@
+"""The coarse-grain runtime: ranks, levels, and NXTVAL work stealing.
+
+One simulated rank per (node, core), exactly like the original code's
+one-MPI-rank-per-core mapping. Work is divided into levels with an
+explicit barrier between them; within a level ranks repeatedly call
+NXTVAL to atomically claim the next chain — "global work stealing" with
+a unit of work of one whole chain (Section III-A / IV-D).
+
+A ``use_nxtval=False`` configuration swaps in a static rank-cyclic chain
+assignment, which the load-balancing ablation benchmark uses to isolate
+the cost/benefit of the shared counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ga.nxtval import NxtvalServer
+from repro.ga.sync import Barrier
+from repro.legacy.chain_exec import execute_chain
+from repro.sim.cluster import Cluster
+from repro.sim.trace import TaskCategory
+from repro.tce.subroutine import ChainSpec, Subroutine
+from repro.util.errors import ConfigurationError
+
+__all__ = ["LegacyConfig", "LegacyResult", "LegacyRuntime"]
+
+
+@dataclass(frozen=True)
+class LegacyConfig:
+    """Knobs of the legacy execution model."""
+
+    #: True: NXTVAL shared-counter stealing (the original behaviour).
+    #: False: static rank-cyclic assignment (ablation).
+    use_nxtval: bool = True
+    #: Home node of the shared counter.
+    nxtval_home: int = 0
+
+
+@dataclass
+class LegacyResult:
+    """Outcome of one legacy execution."""
+
+    execution_time: float
+    n_ranks: int
+    n_levels: int
+    chains_executed: int
+    nxtval_requests: int
+    #: chains executed per rank, keyed by (node, thread) — load balance data
+    chains_per_rank: dict = field(default_factory=dict)
+
+
+class LegacyRuntime:
+    """Drives a list of work levels over the simulated cluster."""
+
+    def __init__(self, cluster: Cluster, ga, config: Optional[LegacyConfig] = None):
+        self.cluster = cluster
+        self.ga = ga
+        self.config = config or LegacyConfig()
+
+    def execute_subroutine(self, subroutine: Subroutine) -> LegacyResult:
+        """Run a single subroutine (one work level)."""
+        return self.execute([list(subroutine.chains)])
+
+    def launch(self, levels: list[list[ChainSpec]]):
+        """Start executing ``levels``; returns ``(done_event, result)``.
+
+        Use this form to embed a legacy section inside a larger
+        simulated program (the NWChem integration driver sequences
+        legacy and PaRSEC kernels this way). ``result`` fields other
+        than ``execution_time`` are filled in as ranks finish.
+        """
+        if not levels:
+            raise ConfigurationError("need at least one work level")
+        cluster = self.cluster
+        engine = cluster.engine
+        machine = cluster.machine
+        ranks = [
+            (node, thread)
+            for node in cluster.nodes
+            for thread in range(cluster.cores_per_node)
+        ]
+        barrier = Barrier(engine, parties=len(ranks), overhead=machine.barrier_overhead_s)
+        # one fresh counter per level, as the original resets per level
+        counters = [
+            NxtvalServer(self.ga, home_node=self.config.nxtval_home)
+            for _ in levels
+        ]
+        result = LegacyResult(
+            execution_time=0.0,
+            n_ranks=len(ranks),
+            n_levels=len(levels),
+            chains_executed=0,
+            nxtval_requests=0,
+        )
+        done = engine.event()
+        state = {"remaining": len(ranks)}
+
+        def rank_wrapper(rank_id, node, thread):
+            yield from self._rank_loop(
+                rank_id, node, thread, levels, counters, barrier, result
+            )
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                result.nxtval_requests = sum(c.total_requests for c in counters)
+                done.succeed(result)
+
+        for rank_id, (node, thread) in enumerate(ranks):
+            engine.process(
+                rank_wrapper(rank_id, node, thread), name=f"legacy.rank{rank_id}"
+            )
+        return done, result
+
+    def execute(self, levels: list[list[ChainSpec]]) -> LegacyResult:
+        """Run ``levels`` to completion; returns timing and stats.
+
+        Chains are only stealable within their level — the barrier
+        between levels means "the number of chains available for
+        parallel execution at any time is a subset of the total".
+        """
+        start_time = self.cluster.engine.now
+        done, result = self.launch(levels)
+        result.execution_time = self.cluster.run() - start_time
+        if not done.triggered:
+            raise ConfigurationError("legacy execution stalled before completing")
+        return result
+
+    # ------------------------------------------------------------------
+    def _rank_loop(self, rank_id, node, thread, levels, counters, barrier, result):
+        key = (node.node_id, thread)
+        result.chains_per_rank.setdefault(key, 0)
+        n_ranks = barrier.parties
+        for level_chains, counter in zip(levels, counters):
+            if self.config.use_nxtval:
+                while True:
+                    t_start = self.cluster.engine.now
+                    ticket = yield from counter.next(node.node_id)
+                    node.trace.record(
+                        node.node_id,
+                        thread,
+                        TaskCategory.NXTVAL,
+                        f"NXTVAL#{ticket}",
+                        t_start,
+                        self.cluster.engine.now,
+                    )
+                    if ticket >= len(level_chains):
+                        break
+                    yield from execute_chain(
+                        self.cluster, self.ga, node, thread, level_chains[ticket]
+                    )
+                    result.chains_executed += 1
+                    result.chains_per_rank[key] += 1
+            else:
+                for index in range(rank_id, len(level_chains), n_ranks):
+                    yield from execute_chain(
+                        self.cluster, self.ga, node, thread, level_chains[index]
+                    )
+                    result.chains_executed += 1
+                    result.chains_per_rank[key] += 1
+            t_start = self.cluster.engine.now
+            yield from barrier.arrive()
+            node.trace.record(
+                node.node_id,
+                thread,
+                TaskCategory.BARRIER,
+                "GA_Sync",
+                t_start,
+                self.cluster.engine.now,
+            )

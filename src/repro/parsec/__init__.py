@@ -1,0 +1,57 @@
+"""PaRSEC: a Parameterized-Task-Graph, dataflow-driven distributed runtime.
+
+This package reproduces the execution model of the PaRSEC framework as
+the paper uses it:
+
+- **PTG representation** (:mod:`repro.parsec.taskclass`,
+  :mod:`repro.parsec.ptg`): task *classes* parameterized over symbolic
+  domains, with guarded dataflow dependencies between classes and
+  priority expressions — the compact equivalent of the ``.jdf`` snippets
+  in the paper's Figures 1 and 2. Domains, guards, placements, and
+  priorities are all callables over a *metadata* object filled by an
+  inspection phase, mirroring how "PaRSEC can dynamically look them up
+  in metadata structures filled by an inspection phase".
+- **Event-driven runtime** (:mod:`repro.parsec.runtime`): when a task
+  completes, its output dataflow is examined and successor inputs are
+  satisfied — locally by pointer, remotely through the communication
+  engine. "When the hardware is busy executing application code, the
+  runtime does not incur overhead."
+- **Per-node scheduler** (:mod:`repro.parsec.scheduler`): one worker per
+  compute core popping a shared priority ready-queue (priorities are
+  relative; ties FIFO). Tasks never migrate between threads once
+  started.
+- **Communication thread** (:mod:`repro.parsec.comm`): a dedicated
+  per-node service (the paper runs it "on a dedicated core") that
+  serializes message processing; all communication is implicit.
+"""
+
+from repro.parsec.taskclass import (
+    Dep,
+    Flow,
+    FlowMode,
+    TaskClass,
+    TaskContext,
+    TaskInstance,
+)
+from repro.parsec.ptg import PTG, TaskGraph
+from repro.parsec.runtime import ParsecResult, ParsecRuntime
+from repro.parsec.scheduler import SchedulerPolicy
+from repro.parsec.dtd import DtdRuntime, DtdResult, AccessMode, DataHandle
+
+__all__ = [
+    "Dep",
+    "Flow",
+    "FlowMode",
+    "TaskClass",
+    "TaskContext",
+    "TaskInstance",
+    "PTG",
+    "TaskGraph",
+    "ParsecResult",
+    "ParsecRuntime",
+    "SchedulerPolicy",
+    "DtdRuntime",
+    "DtdResult",
+    "AccessMode",
+    "DataHandle",
+]

@@ -1,0 +1,355 @@
+"""Dynamic Task Discovery (DTD) — the alternative the paper contrasts.
+
+Section VI: other task engines "largely rely on some form of 'Dynamic
+Task Discovery (DTD)', or in other words building the entire DAG of
+execution in memory using skeleton programs. While PaRSEC also uses an
+inspector phase to collect information about the meta data of the
+program, this is hardly equivalent ... Our inspector phase does not
+build a DAG in memory and does not need to discover the way tasks
+depend on one another by matching input and output data."
+
+This module implements exactly that contrasted model so the difference
+can be measured: a *skeleton program* inserts tasks one by one, each
+declaring data accesses (READ / RW / WRITE on named :class:`DataHandle`
+objects); the runtime infers dependencies by matching accesses against
+the last writer and intervening readers of each handle, materializing
+every edge of the DAG in memory. Execution then proceeds over the same
+simulated cluster with per-node priority schedulers and communication
+threads, like the PTG runtime.
+
+The measurable costs of the DTD approach (reported by
+:class:`DtdResult` and compared in the ablation benchmark):
+
+- the skeleton's serial insertion time (every task passes through one
+  master thread, charged per insert);
+- the materialized DAG: one record per task plus one per edge, versus
+  the PTG's O(task classes) symbolic representation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimEvent
+from repro.sim.network import Message
+from repro.sim.queues import PriorityStore
+from repro.sim.trace import TaskCategory
+from repro.util.errors import DataflowError
+
+__all__ = ["AccessMode", "DataHandle", "DtdTask", "DtdContext", "DtdRuntime", "DtdResult"]
+
+#: serial cost of inserting one task through the skeleton program
+DTD_INSERT_OVERHEAD_S = 4.0e-6
+
+
+class AccessMode:
+    READ = "read"
+    RW = "rw"
+    WRITE = "write"
+
+
+class DataHandle:
+    """One named piece of data tasks communicate through.
+
+    Tracks the version chain the dependence matcher needs: the last
+    writer task and the readers of the current version.
+    """
+
+    __slots__ = ("key", "size_elems", "home_node", "value", "_last_writer", "_readers")
+
+    def __init__(self, key: str, size_elems: int, home_node: int, value: Any = None):
+        self.key = key
+        self.size_elems = size_elems
+        self.home_node = home_node
+        self.value = value
+        self._last_writer: Optional["DtdTask"] = None
+        self._readers: list["DtdTask"] = []
+
+    @property
+    def nbytes(self) -> float:
+        return 8.0 * self.size_elems
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataHandle({self.key!r}, n={self.size_elems})"
+
+
+class DtdTask:
+    """One inserted task with its materialized dependence edges."""
+
+    __slots__ = (
+        "task_id",
+        "name",
+        "body",
+        "accesses",
+        "node",
+        "priority",
+        "category",
+        "successors",
+        "pending",
+        "done",
+    )
+
+    def __init__(self, task_id, name, body, accesses, node, priority, category):
+        self.task_id = task_id
+        self.name = name
+        self.body = body
+        self.accesses = accesses  # list of (handle, mode)
+        self.node = node
+        self.priority = priority
+        self.category = category
+        self.successors: list["DtdTask"] = []
+        self.pending = 0
+        self.done = False
+
+
+class DtdContext:
+    """What a DTD task body sees: its data by handle key."""
+
+    __slots__ = ("task", "cluster", "node", "thread", "data")
+
+    def __init__(self, task: DtdTask, cluster: Cluster, node, thread: int):
+        self.task = task
+        self.cluster = cluster
+        self.node = node
+        self.thread = thread
+        #: handle.key -> current value (REAL mode) or None
+        self.data = {h.key: h.value for h, _ in task.accesses}
+
+    @property
+    def machine(self):
+        return self.cluster.machine
+
+    @property
+    def real(self) -> bool:
+        return self.cluster.data_mode.value == "real"
+
+    def write(self, key: str, value: Any) -> None:
+        """Publish a new value for a handle this task writes."""
+        self.data[key] = value
+
+    def charge(self, cost):
+        """Generator helper: burn one OpCost on this node/thread."""
+        if cost.cpu > 0:
+            yield self.cluster.engine.timeout(cost.cpu)
+        if cost.bytes > 0:
+            yield self.node.membw.transfer(cost.bytes)
+
+
+@dataclass
+class DtdResult:
+    """Execution outcome plus the DTD model's bookkeeping costs."""
+
+    execution_time: float
+    n_tasks: int
+    n_edges: int
+    insertion_time: float  # virtual serial time the skeleton spent
+    messages_remote: int = 0
+    bytes_remote: float = 0.0
+
+
+class DtdRuntime:
+    """Insert-then-execute runtime with data-access dependence matching."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.instance_id = next(_dtd_ids)
+        self._tasks: list[DtdTask] = []
+        self._handles: dict[str, DataHandle] = {}
+        self._edges = 0
+        self._executing = False
+        # execution state
+        self._ready: list[PriorityStore] = []
+        self._completed = 0
+        self._done: Optional[SimEvent] = None
+        self.messages_remote = 0
+        self.bytes_remote = 0.0
+
+    # ------------------------------------------------------------------
+    # skeleton-program API
+    # ------------------------------------------------------------------
+    def data(
+        self, key: str, size_elems: int, home_node: int = 0, value: Any = None
+    ) -> DataHandle:
+        """Declare (or look up) a data handle."""
+        handle = self._handles.get(key)
+        if handle is None:
+            handle = DataHandle(key, size_elems, home_node, value)
+            self._handles[key] = handle
+        return handle
+
+    def insert_task(
+        self,
+        name: str,
+        body: Callable[[DtdContext], Any],
+        accesses: list[tuple[DataHandle, str]],
+        node: int,
+        priority: float = 0.0,
+        category: TaskCategory = TaskCategory.OTHER,
+    ) -> DtdTask:
+        """Insert one task; dependencies are inferred from ``accesses``.
+
+        READ depends on the handle's last writer; WRITE/RW additionally
+        depends on every reader of the current version (the
+        anti-dependence that keeps reads coherent).
+        """
+        if self._executing:
+            raise DataflowError("cannot insert tasks after execute()")
+        task = DtdTask(
+            len(self._tasks), name, body, accesses, node, priority, category
+        )
+        for handle, mode in accesses:
+            if mode not in (AccessMode.READ, AccessMode.RW, AccessMode.WRITE):
+                raise DataflowError(f"unknown access mode {mode!r}")
+            predecessors: list[DtdTask] = []
+            if mode == AccessMode.READ:
+                if handle._last_writer is not None:
+                    predecessors.append(handle._last_writer)
+                handle._readers.append(task)
+            else:  # RW / WRITE
+                if handle._last_writer is not None:
+                    predecessors.append(handle._last_writer)
+                predecessors.extend(handle._readers)
+                handle._last_writer = task
+                handle._readers = []
+            for predecessor in predecessors:
+                if predecessor is task or predecessor.done:
+                    continue
+                predecessor.successors.append(task)
+                task.pending += 1
+                self._edges += 1
+        self._tasks.append(task)
+        return task
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def n_edges(self) -> int:
+        return self._edges
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self) -> DtdResult:
+        """Run the materialized DAG to completion."""
+        if self._executing:
+            raise DataflowError("execute() called twice")
+        self._executing = True
+        start_time = self.engine.now
+        # the skeleton program inserted every task serially on a master
+        # thread — charge that as up-front virtual time
+        insertion_time = DTD_INSERT_OVERHEAD_S * len(self._tasks)
+        self._done = self.engine.event()
+        if not self._tasks:
+            self._done.succeed()
+        for node in self.cluster.nodes:
+            store = PriorityStore(self.engine, name=f"dtd.ready{node.node_id}")
+            self._ready.append(store)
+            for thread in range(self.cluster.cores_per_node):
+                self.engine.process(
+                    self._worker(node, thread),
+                    name=f"dtd.worker{node.node_id}.{thread}#{self.instance_id}",
+                )
+        self.engine.process(self._seed(insertion_time), name="dtd.master")
+        end_time = self.cluster.run()
+        if self._done is not None and not self._done.triggered:
+            stuck = [t.name for t in self._tasks if not t.done]
+            raise DataflowError(
+                f"DTD execution stalled with {len(stuck)} unfinished tasks "
+                f"(first few: {stuck[:5]})"
+            )
+        return DtdResult(
+            execution_time=end_time - start_time,
+            n_tasks=len(self._tasks),
+            n_edges=self._edges,
+            insertion_time=insertion_time,
+            messages_remote=self.messages_remote,
+            bytes_remote=self.bytes_remote,
+        )
+
+    def _seed(self, insertion_time: float):
+        if insertion_time > 0:
+            yield self.engine.timeout(insertion_time)
+        for task in self._tasks:
+            if task.pending == 0:
+                self._ready[task.node].put(task, priority=task.priority)
+
+    def _worker(self, node, thread: int):
+        machine = self.cluster.machine
+        while True:
+            task: DtdTask = yield self._ready[node.node_id].get()
+            if machine.task_overhead_s > 0:
+                yield self.engine.timeout(machine.task_overhead_s)
+            context = DtdContext(task, self.cluster, node, thread)
+            t_start = self.engine.now
+            yield from task.body(context)
+            node.trace.record(
+                node.node_id, thread, task.category, task.name, t_start, self.engine.now
+            )
+            # publish written values back to the handles
+            for handle, mode in task.accesses:
+                if mode != AccessMode.READ:
+                    handle.value = context.data.get(handle.key)
+            task.done = True
+            self._on_complete(task)
+
+    def _on_complete(self, task: DtdTask) -> None:
+        for successor in task.successors:
+            successor.pending -= 1
+            if successor.pending == 0:
+                self._activate(task, successor)
+        self._completed += 1
+        if self._completed == len(self._tasks):
+            self._done.succeed()
+
+    def _activate(self, producer: DtdTask, successor: DtdTask) -> None:
+        if successor.node == producer.node:
+            self._ready[successor.node].put(successor, priority=successor.priority)
+            return
+        # ship the successor's read data that lives on the producer's
+        # side; model as one message sized by the successor's inputs
+        size_bytes = sum(
+            handle.nbytes
+            for handle, mode in successor.accesses
+            if mode != AccessMode.WRITE
+        )
+        self.messages_remote += 1
+        self.bytes_remote += size_bytes
+        inbox = f"dtd.recv#{self.instance_id}"
+        node = self.cluster.nodes[successor.node]
+        if not hasattr(node, "_dtd_receivers"):
+            node._dtd_receivers = set()
+        if self.instance_id not in node._dtd_receivers:
+            node._dtd_receivers.add(self.instance_id)
+            self.engine.process(
+                self._receiver(node, inbox), name=f"dtd.recv{node.node_id}"
+            )
+        self.cluster.network.send(
+            producer.node,
+            successor.node,
+            size_bytes,
+            successor,
+            inbox=inbox,
+            tag=f"dtd:{successor.name}",
+        )
+
+    def _receiver(self, node, inbox_name: str):
+        machine = self.cluster.machine
+        inbox = node.inbox(inbox_name)
+        while True:
+            message: Message = yield inbox.get()
+            service = machine.comm_thread_overhead_s + (
+                message.size_bytes / machine.comm_pack_bytes_per_s
+            )
+            if service > 0:
+                yield self.engine.timeout(service)
+            successor: DtdTask = message.payload
+            self._ready[successor.node].put(successor, priority=successor.priority)
+
+
+_dtd_ids = itertools.count()

@@ -1,0 +1,136 @@
+"""The PTG container and its instantiation into a task graph.
+
+A :class:`PTG` is a set of task classes. :meth:`PTG.instantiate`
+evaluates every class's symbolic domain against the metadata (the
+product of the inspection phase) and materializes the
+:class:`TaskInstance` table, computing each instance's placement,
+priority, and pending input count.
+
+Instantiation also *validates the dataflow*: every active input dep
+must be fed by exactly the right number of active output deps on the
+producer side. A mismatch — a task that would wait forever, or a
+delivery nobody expects — is a programming error in the PTG and raises
+:class:`~repro.util.errors.DataflowError` up front rather than showing
+up as a simulation that silently never terminates.
+
+Note on memory data: in real PaRSEC, flows can also read/write
+distributed memory directly (``READ A <- A input_A(...)`` in Figure 1).
+Here such memory endpoints live in the task *bodies* (READ tasks touch
+the Global Array via local access, WRITE tasks accumulate into it),
+which matches the paper's description of passing GA locations to PaRSEC
+as opaque IDs resolved at execution time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.parsec.taskclass import TaskClass, TaskInstance
+from repro.util.errors import DataflowError
+
+__all__ = ["PTG", "TaskGraph"]
+
+
+class PTG:
+    """An ordered registry of task classes."""
+
+    def __init__(self, name: str = "ptg") -> None:
+        self.name = name
+        self.classes: dict[str, TaskClass] = {}
+
+    def add(self, task_class: TaskClass) -> TaskClass:
+        """Register a class; names must be unique."""
+        if task_class.name in self.classes:
+            raise DataflowError(f"task class {task_class.name!r} defined twice")
+        self.classes[task_class.name] = task_class
+        return task_class
+
+    def task_class(self, name: str) -> TaskClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise DataflowError(f"PTG {self.name!r} has no class {name!r}") from None
+
+    def instantiate(self, md: Any, n_nodes: int, validate: bool = True) -> "TaskGraph":
+        """Materialize the instance table for metadata ``md``."""
+        instances: dict[tuple, TaskInstance] = {}
+        for cls in self.classes.values():
+            for params in cls.domain(md):
+                params = tuple(params)
+                node = cls.placement(params, md)
+                if not 0 <= node < n_nodes:
+                    raise DataflowError(
+                        f"{cls.name}{params} placed on invalid node {node}"
+                    )
+                priority = float(cls.priority(params, md)) if cls.priority else 0.0
+                instance = TaskInstance(
+                    cls, params, node, priority, cls.input_count(params, md)
+                )
+                if instance.key in instances:
+                    raise DataflowError(f"duplicate task instance {instance.label}")
+                instances[instance.key] = instance
+        graph = TaskGraph(self, md, instances)
+        if validate:
+            graph.validate()
+        return graph
+
+
+class TaskGraph:
+    """The materialized instance table plus dataflow bookkeeping."""
+
+    def __init__(self, ptg: PTG, md: Any, instances: dict[tuple, TaskInstance]):
+        self.ptg = ptg
+        self.md = md
+        self.instances = instances
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def instance(self, class_name: str, params: tuple) -> TaskInstance:
+        try:
+            return self.instances[(class_name, tuple(params))]
+        except KeyError:
+            raise DataflowError(
+                f"no instance {class_name}{tuple(params)} in task graph"
+            ) from None
+
+    def by_class(self) -> dict[str, list[TaskInstance]]:
+        groups: dict[str, list[TaskInstance]] = defaultdict(list)
+        for instance in self.instances.values():
+            groups[instance.cls.name].append(instance)
+        return dict(groups)
+
+    def initially_ready(self) -> list[TaskInstance]:
+        """Instances with no pending inputs (in creation order)."""
+        return [t for t in self.instances.values() if t.pending == 0]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every expected delivery has exactly one producer."""
+        incoming: dict[tuple, int] = defaultdict(int)
+        md = self.md
+        for instance in self.instances.values():
+            for flow in instance.cls.flows:
+                for dep in flow.outputs:
+                    if not dep.active(instance.params, md):
+                        continue
+                    consumer_params = tuple(dep.param_map(instance.params, md))
+                    consumer_key = (dep.target_class, consumer_params)
+                    if consumer_key not in self.instances:
+                        raise DataflowError(
+                            f"{instance.label}.{flow.name} targets missing task "
+                            f"{dep.target_class}{consumer_params}"
+                        )
+                    incoming[(consumer_key, dep.flow)] += 1
+        for instance in self.instances.values():
+            expected = instance.pending
+            actual = sum(
+                incoming.get((instance.key, flow.name), 0)
+                for flow in instance.cls.flows
+            )
+            if actual != expected:
+                raise DataflowError(
+                    f"{instance.label} expects {expected} deliveries but the "
+                    f"dataflow produces {actual}"
+                )

@@ -1,0 +1,169 @@
+"""The per-node scheduler: a priority ready-queue and worker threads.
+
+"Task priorities are taken into account by the scheduler when a set of
+available tasks are considered for execution, and they only have a
+relative meaning" — the ready queue is a max-priority store with FIFO
+tie-breaking. One worker process per compute core pops tasks, pays the
+per-task scheduling overhead, runs the body, traces the span, and hands
+completion back to the runtime. Tasks do not migrate between threads
+once started (PaRSEC semantics the paper leans on for the locality
+argument of variant v5).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.parsec.taskclass import TaskContext, TaskInstance
+from repro.sim.queues import LifoStore, PriorityStore, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parsec.runtime import ParsecRuntime
+
+__all__ = ["SchedulerPolicy", "NodeScheduler"]
+
+
+class SchedulerPolicy(str, Enum):
+    """PaRSEC's scheduling disciplines, per objective function.
+
+    "PaRSEC includes multiple task scheduling algorithms, each designed
+    to maximize a different objective function, i.e., cache reuse, load
+    balancing, etc." — PRIORITY is the default used for the paper's
+    experiments; FIFO ignores priorities (fairness); LIFO pops the
+    newest ready task (cache reuse).
+    """
+
+    PRIORITY = "priority"
+    FIFO = "fifo"
+    LIFO = "lifo"
+
+
+class NodeScheduler:
+    """Ready queues + workers for one node.
+
+    With accelerators configured (``ClusterConfig.gpus_per_node > 0``),
+    device-capable tasks (``TaskClass.accelerated``) are dispatched to
+    a separate device ready-queue served by one GPU worker per
+    accelerator; each device task stages its inputs and outputs over
+    the node's shared PCIe link — the hybrid execution path the paper's
+    introduction motivates ("a robust path to exploit hybrid computer
+    architectures").
+    """
+
+    def __init__(
+        self,
+        runtime: "ParsecRuntime",
+        node,
+        n_workers: int,
+        policy: SchedulerPolicy = SchedulerPolicy.PRIORITY,
+        n_gpus: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.node = node
+        self.engine = runtime.cluster.engine
+        self.policy = policy
+        self.n_gpus = n_gpus
+
+        def make_queue(label: str):
+            if policy is SchedulerPolicy.PRIORITY:
+                return PriorityStore(self.engine, name=f"{label}{node.node_id}")
+            if policy is SchedulerPolicy.LIFO:
+                return LifoStore(self.engine, name=f"{label}{node.node_id}")
+            return Store(self.engine, name=f"{label}{node.node_id}")
+
+        self.ready = make_queue("ready")
+        self.gpu_ready = make_queue("gpu_ready") if n_gpus > 0 else None
+        self.tasks_executed = 0
+        self.gpu_tasks_executed = 0
+        for thread in range(n_workers):
+            self.engine.process(
+                self._worker(thread), name=f"parsec.worker{node.node_id}.{thread}"
+            )
+        for gpu in range(n_gpus):
+            self.engine.process(
+                self._gpu_worker(gpu), name=f"parsec.gpu{node.node_id}.{gpu}"
+            )
+
+    def enqueue(self, task: TaskInstance) -> None:
+        """Make a task available under the node's scheduling policy."""
+        queue = self.ready
+        if self.gpu_ready is not None and task.cls.accelerated:
+            queue = self.gpu_ready
+        if self.policy is SchedulerPolicy.PRIORITY:
+            queue.put(task, priority=task.priority)
+        else:
+            queue.put(task)
+
+    def _worker(self, thread: int):
+        cluster = self.runtime.cluster
+        machine = cluster.machine
+        node = self.node
+        while True:
+            task: TaskInstance = yield self.ready.get()
+            # per-task runtime bookkeeping (select + dependence checks)
+            if machine.task_overhead_s > 0:
+                yield self.engine.timeout(machine.task_overhead_s)
+            task.started = True
+            context = TaskContext(task, self.runtime.md, cluster, node, thread)
+            t_start = self.engine.now
+            yield from task.cls.run(context)
+            node.trace.record(
+                node.node_id,
+                thread,
+                task.cls.category,
+                task.label,
+                t_start,
+                self.engine.now,
+            )
+            task.done = True
+            self.tasks_executed += 1
+            self.runtime._on_complete(task, context)
+
+    def _gpu_worker(self, gpu: int):
+        """One accelerator: stage inputs in, run the kernel, stage out.
+
+        Traced on its own row (thread id beyond the CPU workers) so
+        Gantt charts show device occupancy separately.
+        """
+        cluster = self.runtime.cluster
+        machine = cluster.machine
+        node = self.node
+        md = self.runtime.md
+        thread = cluster.cores_per_node + 1 + gpu  # +1 skips the comm thread row
+        while True:
+            task: TaskInstance = yield self.gpu_ready.get()
+            if machine.gpu_task_overhead_s > 0:
+                yield self.engine.timeout(machine.gpu_task_overhead_s)
+            task.started = True
+            context = TaskContext(
+                task, md, cluster, node, thread, device="gpu"
+            )
+            t_start = self.engine.now
+            in_bytes = 8.0 * sum(
+                flow.size_elems(task.params, md)
+                for flow in task.cls.flows
+                if flow.inputs
+            )
+            if in_bytes > 0:
+                yield node.pcie.transfer(in_bytes)
+            yield from task.cls.run(context)
+            out_bytes = 8.0 * sum(
+                flow.size_elems(task.params, md)
+                for flow in task.cls.flows
+                if flow.outputs or not flow.inputs
+            )
+            if out_bytes > 0:
+                yield node.pcie.transfer(out_bytes)
+            node.trace.record(
+                node.node_id,
+                thread,
+                task.cls.category,
+                task.label,
+                t_start,
+                self.engine.now,
+                meta={"device": f"gpu{gpu}"},
+            )
+            task.done = True
+            self.gpu_tasks_executed += 1
+            self.runtime._on_complete(task, context)

@@ -1,0 +1,247 @@
+"""Task classes, flows, and dependencies — the PTG building blocks.
+
+A :class:`TaskClass` is the analogue of one task definition in a PaRSEC
+``.jdf`` file (Figure 1 of the paper): a name, a parameter tuple, a
+symbolic execution domain, a placement rule, a priority expression, and
+a set of named :class:`Flow` s whose guarded :class:`Dep` s point at
+other task classes. Everything symbolic is a plain Python callable over
+``(params, metadata)``, which is exactly the role the PTG's inline C
+expressions play.
+
+The task *body* is a generator ``run(ctx)`` driven inside the simulated
+worker thread. It charges its cost through :meth:`TaskContext.charge`
+and, in REAL data mode, moves actual NumPy data from ``ctx.inputs`` to
+``ctx.outputs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from repro.sim.trace import TaskCategory
+from repro.util.errors import DataflowError
+
+__all__ = ["FlowMode", "Dep", "Flow", "TaskClass", "TaskInstance", "TaskContext"]
+
+Params = tuple
+Guard = Callable[[Params, Any], bool]
+ParamMap = Callable[[Params, Any], Params]
+Transform = Callable[[Any, Params, Any], Any]
+
+
+class FlowMode(str, Enum):
+    """Access mode of a flow, as in the PTG syntax (READ / RW / WRITE)."""
+
+    READ = "read"
+    RW = "rw"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Dep:
+    """One guarded dataflow arrow between task classes.
+
+    As an *input* dep on flow F of class X: "X(p).F <- target(map(p)).flow".
+    As an *output* dep: "X(p).F -> target(map(p)).flow".
+
+    ``transform`` (outputs only) reshapes/slices the produced data for
+    this particular consumer — how a SORT task sends each WRITE_C
+    instance "only the data that is relevant to the node on which the
+    task instance executes" (Figure 8).
+    ``size_elems`` overrides the transferred element count for message
+    cost modelling when the transform changes the payload size.
+    """
+
+    target_class: str
+    param_map: ParamMap
+    flow: str
+    guard: Optional[Guard] = None
+    transform: Optional[Transform] = None
+    size_elems: Optional[Callable[[Params, Any], int]] = None
+
+    def active(self, params: Params, md: Any) -> bool:
+        return True if self.guard is None else bool(self.guard(params, md))
+
+
+@dataclass
+class Flow:
+    """A named piece of data flowing through a task class.
+
+    ``size_elems(params, md)`` gives the element count of the flow's
+    data for one task instance (used to cost remote transfers).
+    """
+
+    name: str
+    mode: FlowMode
+    size_elems: Callable[[Params, Any], int]
+    inputs: list[Dep] = field(default_factory=list)
+    outputs: list[Dep] = field(default_factory=list)
+
+
+class TaskClass:
+    """One parameterized family of tasks."""
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...],
+        domain: Callable[[Any], Any],
+        placement: Callable[[Params, Any], int],
+        run: Callable[["TaskContext"], Any],
+        flows: list[Flow],
+        category: TaskCategory = TaskCategory.OTHER,
+        priority: Optional[Callable[[Params, Any], float]] = None,
+        accelerated: bool = False,
+    ) -> None:
+        self.name = name
+        self.params = params
+        self.domain = domain
+        self.placement = placement
+        self.run = run
+        self.flows = flows
+        self.category = category
+        self.priority = priority
+        #: True if instances may run on an accelerator when the node
+        #: has one (the body must honour ``ctx.device``)
+        self.accelerated = accelerated
+        self._flow_by_name = {flow.name: flow for flow in flows}
+        if len(self._flow_by_name) != len(flows):
+            raise DataflowError(f"duplicate flow names in task class {name}")
+
+    def flow(self, name: str) -> Flow:
+        try:
+            return self._flow_by_name[name]
+        except KeyError:
+            raise DataflowError(f"{self.name} has no flow {name!r}") from None
+
+    def input_count(self, params: Params, md: Any) -> int:
+        """Number of dataflow deliveries this instance must wait for."""
+        count = 0
+        for flow in self.flows:
+            for dep in flow.inputs:
+                if dep.active(params, md):
+                    count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskClass({self.name}{self.params})"
+
+
+class TaskInstance:
+    """One concrete task: a class plus a parameter binding."""
+
+    __slots__ = (
+        "cls",
+        "params",
+        "node",
+        "priority",
+        "pending",
+        "inputs",
+        "started",
+        "done",
+    )
+
+    def __init__(
+        self, cls: TaskClass, params: Params, node: int, priority: float, pending: int
+    ) -> None:
+        self.cls = cls
+        self.params = params
+        self.node = node
+        self.priority = priority
+        self.pending = pending
+        self.inputs: dict[str, Any] = {}
+        self.started = False
+        self.done = False
+
+    @property
+    def key(self) -> tuple[str, Params]:
+        return (self.cls.name, self.params)
+
+    @property
+    def label(self) -> str:
+        return f"{self.cls.name}{self.params}"
+
+    def receive(self, flow: str, data: Any) -> bool:
+        """Satisfy one input delivery; returns True if now ready."""
+        if self.done or self.started:
+            raise DataflowError(f"delivery to already-running task {self.label}")
+        if self.pending <= 0:
+            raise DataflowError(f"unexpected delivery to {self.label} on {flow!r}")
+        # multiple deliveries to one flow accumulate into a list (the
+        # single-WRITE variants receive several sorted matrices)
+        if flow in self.inputs:
+            existing = self.inputs[flow]
+            if not isinstance(existing, list):
+                existing = [existing]
+            existing.append(data)
+            self.inputs[flow] = existing
+        else:
+            self.inputs[flow] = data
+        self.pending -= 1
+        return self.pending == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskInstance({self.label} @node{self.node})"
+
+
+class TaskContext:
+    """What a task body sees while it runs."""
+
+    __slots__ = (
+        "task",
+        "md",
+        "cluster",
+        "node",
+        "thread",
+        "device",
+        "outputs",
+    )
+
+    def __init__(
+        self,
+        task: TaskInstance,
+        md: Any,
+        cluster,
+        node,
+        thread: int,
+        device: str = "cpu",
+    ) -> None:
+        self.task = task
+        self.md = md
+        self.cluster = cluster
+        self.node = node
+        self.thread = thread
+        #: 'cpu' or 'gpu' — which worker kind is executing the body
+        self.device = device
+        self.outputs: dict[str, Any] = {}
+
+    @property
+    def params(self) -> Params:
+        return self.task.params
+
+    @property
+    def inputs(self) -> dict[str, Any]:
+        return self.task.inputs
+
+    @property
+    def machine(self):
+        return self.cluster.machine
+
+    @property
+    def real(self) -> bool:
+        """True when actual NumPy data flows through the system."""
+        return self.cluster.data_mode.value == "real"
+
+    def charge(self, cost):
+        """Generator helper: burn one OpCost on this node/thread.
+
+        CPU time is exclusive core time; bytes go through the node's
+        shared memory bandwidth. The enclosing task span is traced by
+        the worker, so charges stay untraced here.
+        """
+        if cost.cpu > 0:
+            yield self.cluster.engine.timeout(cost.cpu)
+        if cost.bytes > 0:
+            yield self.node.membw.transfer(cost.bytes)

@@ -1,0 +1,351 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Engine` owns a virtual clock and an event heap. Simulated
+threads are ordinary Python generators wrapped in :class:`Process`; they
+advance by ``yield``-ing *waitables* — :class:`SimEvent`,
+:class:`Timeout`, another :class:`Process`, or any object exposing
+``_wait(callback)``. The kernel resumes them when the waitable fires.
+
+Design notes
+------------
+- Ties in the heap are broken by a monotone sequence number, so event
+  ordering — and therefore every simulated timing — is fully
+  deterministic.
+- Callbacks run *through the heap* (scheduled at zero delay), never
+  synchronously from ``succeed()``. This keeps trigger cascades iterative
+  (no recursion-depth coupling to chain length) and gives a single,
+  predictable interleaving rule.
+- A process that raises with nobody waiting on its completion re-raises
+  out of :meth:`Engine.run` — silent death of a simulated thread would
+  otherwise manifest as an inexplicable hang.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.util.errors import SimulationError
+
+__all__ = [
+    "Engine",
+    "SimEvent",
+    "Timeout",
+    "Process",
+    "ScheduledCall",
+    "all_of",
+    "any_of",
+]
+
+_PENDING = 0
+_SUCCEEDED = 1
+_FAILED = 2
+
+
+class ScheduledCall:
+    """Handle for a callback sitting in the event heap.
+
+    Supports :meth:`cancel`, which lazily removes the entry (the heap
+    slot stays until popped, but the callback will not run).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable, args: tuple) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its slot is popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """Virtual clock plus event heap; the root object of every simulation."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, ScheduledCall]] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule at negative delay {delay}")
+        call = ScheduledCall(self.now + delay, fn, args)
+        heapq.heappush(self._heap, (call.time, next(self._seq), call))
+        return call
+
+    def event(self) -> "SimEvent":
+        """A fresh, untriggered event owned by this engine."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout":
+        """An event that fires ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator, name: Optional[str] = None
+    ) -> "Process":
+        """Wrap ``generator`` as a simulated thread and start it at t=now."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap; return the final virtual time.
+
+        If ``until`` is given, stop as soon as the next event lies beyond
+        it and set the clock to exactly ``until``.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                time, _, call = self._heap[0]
+                if call.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                self.now = time
+                call.fn(*call.args)
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    Lifecycle: pending → succeeded (with a value) or failed (with an
+    exception). Waiters registered after the fact are resumed
+    immediately (through the heap), so late subscription is safe.
+    """
+
+    __slots__ = ("_engine", "_status", "_value", "_callbacks")
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._status = _PENDING
+        self._value: Any = None
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._status != _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True iff the event succeeded."""
+        return self._status == _SUCCEEDED
+
+    @property
+    def failed(self) -> bool:
+        """True iff the event failed."""
+        return self._status == _FAILED
+
+    @property
+    def value(self) -> Any:
+        """The success value (or the exception if failed)."""
+        return self._value
+
+    # -- transitions -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Fire the event successfully, resuming all waiters."""
+        if self._status != _PENDING:
+            raise SimulationError("event already triggered")
+        self._status = _SUCCEEDED
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Fire the event as a failure; waiters see the exception thrown."""
+        if self._status != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._status = _FAILED
+        self._value = exception
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self._engine.schedule(0.0, cb, self)
+
+    # -- waiting ----------------------------------------------------------
+    def _wait(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register ``callback(event)``; runs (via the heap) once triggered."""
+        if self._status != _PENDING:
+            self._engine.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    @property
+    def has_waiters(self) -> bool:
+        """True if at least one callback is registered and pending."""
+        return bool(self._callbacks)
+
+
+class Timeout(SimEvent):
+    """An event that succeeds a fixed virtual delay after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: Engine, delay: float, value: Any = None) -> None:
+        super().__init__(engine)
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+        engine.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process:
+    """A simulated thread: a generator driven by the engine.
+
+    The generator may ``yield`` any waitable; the value sent back is the
+    waitable's success value. ``return value`` inside the generator sets
+    the success value of :attr:`completion`, which is itself waitable —
+    so processes can fork and join each other.
+    """
+
+    __slots__ = ("engine", "name", "_generator", "completion", "_started")
+
+    def __init__(
+        self, engine: Engine, generator: Generator, name: Optional[str] = None
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__} "
+                "(did you call the function with ()?)"
+            )
+        self.engine = engine
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.completion = SimEvent(engine)
+        engine.schedule(0.0, self._step, None)
+
+    @property
+    def alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.completion.triggered
+
+    def _wait(self, callback: Callable[[SimEvent], None]) -> None:
+        """Waiting on a process means waiting on its completion event."""
+        self.completion._wait(callback)
+
+    def _step(self, fired: Optional[SimEvent]) -> None:
+        try:
+            if fired is None:
+                target = self._generator.send(None)
+            elif fired.failed:
+                target = self._generator.throw(fired.value)
+            else:
+                target = self._generator.send(fired.value)
+        except StopIteration as stop:
+            self.completion.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.completion.has_waiters:
+                self.completion.fail(exc)
+                return
+            raise SimulationError(
+                f"unhandled exception in simulated process {self.name!r}"
+            ) from exc
+        if not hasattr(target, "_wait"):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+        target._wait(self._step)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+def all_of(engine: Engine, events: Iterable) -> SimEvent:
+    """An event that succeeds when every input waitable has succeeded.
+
+    The success value is the list of individual values in input order.
+    If any input fails, the combined event fails with that exception
+    (first failure wins).
+    """
+    events = list(events)
+    combined = SimEvent(engine)
+    if not events:
+        combined.succeed([])
+        return combined
+    remaining = [len(events)]
+    values: list[Any] = [None] * len(events)
+
+    def make_cb(index: int):
+        def on_fire(ev: SimEvent) -> None:
+            if combined.triggered:
+                return
+            if ev.failed:
+                combined.fail(ev.value)
+                return
+            values[index] = ev.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.succeed(list(values))
+
+        return on_fire
+
+    for i, ev in enumerate(events):
+        ev._wait(make_cb(i))
+    return combined
+
+
+def any_of(engine: Engine, events: Iterable) -> SimEvent:
+    """An event that succeeds when the first input waitable succeeds.
+
+    The success value is ``(index, value)`` of the winner. Fails if the
+    first waitable to trigger fails.
+    """
+    events = list(events)
+    if not events:
+        raise SimulationError("any_of() needs at least one event")
+    combined = SimEvent(engine)
+
+    def make_cb(index: int):
+        def on_fire(ev: SimEvent) -> None:
+            if combined.triggered:
+                return
+            if ev.failed:
+                combined.fail(ev.value)
+            else:
+                combined.succeed((index, ev.value))
+
+        return on_fire
+
+    for i, ev in enumerate(events):
+        ev._wait(make_cb(i))
+    return combined

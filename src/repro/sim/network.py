@@ -1,0 +1,158 @@
+"""Interconnect model: NICs, messages, and transfer processes.
+
+Each node owns a :class:`NIC` with one transmit and one receive channel,
+each a unit-capacity FIFO server. A message occupies the sender's TX
+channel for its serialization time, crosses the wire after a fixed
+latency, then occupies the receiver's RX channel for the same time
+(cut-through, not store-and-forward). Congestion is emergent: when a
+runtime floods the network — as PaRSEC variant v2 does at startup,
+Figure 11 — deep FIFO backlogs form at the NICs and delivery times grow,
+with no special-case code.
+
+Intra-node messages bypass the NIC entirely and deliver immediately;
+their memory cost, if any, is charged by the layer that owns the data
+(Global Arrays or the PaRSEC data repository).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.sim.engine import Engine, Process
+from repro.sim.resources import Resource
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.cost import MachineModel
+    from repro.sim.node import Node
+
+__all__ = ["Message", "NIC", "Network"]
+
+
+class Message:
+    """One network message; ``payload`` is opaque to the transport."""
+
+    __slots__ = ("seq", "src", "dst", "size_bytes", "payload", "tag", "sent_at")
+
+    def __init__(
+        self,
+        seq: int,
+        src: int,
+        dst: int,
+        size_bytes: float,
+        payload: Any,
+        tag: str,
+        sent_at: float,
+    ) -> None:
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.tag = tag
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.seq} {self.src}->{self.dst} "
+            f"{self.size_bytes:.0f}B tag={self.tag!r})"
+        )
+
+
+class NIC:
+    """One node's network interface: serialized TX and RX channels."""
+
+    def __init__(self, engine: Engine, node_id: int) -> None:
+        self.tx = Resource(engine, capacity=1, name=f"nic{node_id}.tx")
+        self.rx = Resource(engine, capacity=1, name=f"nic{node_id}.rx")
+
+    @property
+    def tx_backlog(self) -> int:
+        """Messages waiting for the transmit channel."""
+        return self.tx.queue_length
+
+    @property
+    def rx_backlog(self) -> int:
+        """Messages waiting for the receive channel."""
+        return self.rx.queue_length
+
+
+class Network:
+    """Routes messages between registered nodes.
+
+    :meth:`send` is fire-and-forget from the caller's point of view: it
+    spawns a transfer process and returns it, so a sender *may* wait on
+    delivery (blocking semantics, as legacy ``GET_HASH_BLOCK`` needs) or
+    ignore it (PaRSEC's implicit asynchronous transfers).
+    """
+
+    def __init__(self, engine: Engine, machine: "MachineModel") -> None:
+        self.engine = engine
+        self.machine = machine
+        self._nodes: dict[int, "Node"] = {}
+        self._seq = itertools.count()
+        # statistics
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+        self.remote_messages = 0
+
+    def register(self, node: "Node") -> None:
+        """Attach a node; its id must be unique within the network."""
+        if node.node_id in self._nodes:
+            raise SimulationError(f"node {node.node_id} registered twice")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "Node":
+        """Look up a registered node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id}") from None
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: float,
+        payload: Any,
+        inbox: Optional[str] = None,
+        tag: str = "",
+        on_deliver=None,
+    ) -> Process:
+        """Start delivering ``payload`` to ``dst``.
+
+        Exactly one of ``inbox`` (named mailbox at the destination) or
+        ``on_deliver`` (callback invoked with the :class:`Message` at
+        arrival time — used for request/response protocols like the
+        Global Arrays handlers) must be given. Returns the transfer
+        process; wait on it for delivery confirmation.
+        """
+        if size_bytes < 0:
+            raise SimulationError(f"negative message size {size_bytes}")
+        if (inbox is None) == (on_deliver is None):
+            raise SimulationError("send() needs exactly one of inbox/on_deliver")
+        message = Message(
+            next(self._seq), src, dst, size_bytes, payload, tag, self.engine.now
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if src != dst:
+            self.remote_messages += 1
+        return self.engine.process(
+            self._transfer(message, inbox, on_deliver), name=f"xfer:{tag}#{message.seq}"
+        )
+
+    def _transfer(self, message: Message, inbox: Optional[str], on_deliver):
+        src_node = self.node(message.src)
+        dst_node = self.node(message.dst)
+        if message.src != message.dst:
+            wire = self.machine.wire_time(message.size_bytes)
+            yield from src_node.nic.tx.use(wire)
+            yield self.engine.timeout(self.machine.net_latency_s)
+            yield from dst_node.nic.rx.use(wire)
+        if on_deliver is not None:
+            on_deliver(message)
+        else:
+            dst_node.inbox(inbox).put(message)
+        return message

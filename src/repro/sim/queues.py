@@ -1,0 +1,146 @@
+"""Mailboxes and ready-queues for simulated threads.
+
+:class:`Store` is an unbounded FIFO channel: producers never block,
+consumers ``yield store.get()``. :class:`PriorityStore` hands out the
+highest-priority item first (ties broken FIFO), matching PaRSEC's rule
+that priorities "only have a relative meaning" — between two available
+tasks the higher-priority one executes first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Engine, SimEvent
+
+__all__ = ["Store", "LifoStore", "PriorityStore"]
+
+
+class Store:
+    """Unbounded FIFO channel between simulated threads."""
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Event that fires with the next item (immediately if available)."""
+        event = self.engine.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking pop: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class LifoStore:
+    """Channel that yields the most recently deposited item first.
+
+    The classic locality-oriented scheduling discipline: the newest
+    ready task's data is the hottest in cache.
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: deque[SimEvent] = deque()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Event that fires with the newest item (immediately if any)."""
+        event = self.engine.event()
+        if self._items:
+            event.succeed(self._items.pop())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking pop of the newest item."""
+        if self._items:
+            return True, self._items.pop()
+        return False, None
+
+
+class PriorityStore:
+    """Channel that yields the highest-priority item first.
+
+    Larger priority value = more important (PaRSEC convention). Equal
+    priorities are served in insertion order, so behaviour stays
+    deterministic.
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._heap: list[tuple[float, int, Any]] = []
+        self._getters: deque[SimEvent] = deque()
+        self._seq = itertools.count()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def put(self, item: Any, priority: float = 0.0) -> None:
+        """Deposit ``item`` at ``priority``; may immediately wake a getter."""
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            heapq.heappush(self._heap, (-priority, next(self._seq), item))
+
+    def get(self) -> SimEvent:
+        """Event firing with the highest-priority available item."""
+        event = self.engine.event()
+        if self._heap:
+            event.succeed(heapq.heappop(self._heap)[2])
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking pop of the best item: ``(True, item)`` or ``(False, None)``."""
+        if self._heap:
+            return True, heapq.heappop(self._heap)[2]
+        return False, None
+
+    def peek_priority(self) -> float:
+        """Priority of the best queued item (error if empty)."""
+        if not self._heap:
+            raise IndexError(f"PriorityStore {self.name!r} is empty")
+        return -self._heap[0][0]

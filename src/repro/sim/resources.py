@@ -1,0 +1,226 @@
+"""Contended resources for the simulated machine.
+
+Two service disciplines cover everything the reproduction needs:
+
+- :class:`Resource` — a counted semaphore with FIFO waiters. Used for
+  NIC serialization, GA request handlers, and (via
+  :class:`~repro.sim.mutex.SimMutex`) pthread mutexes.
+- :class:`BandwidthResource` — a fluid processor-sharing server. All
+  active jobs share the capacity equally, which is the standard model
+  for per-node memory bandwidth shared among cores. This is what makes
+  the original NWChem code's scaling taper off around seven cores per
+  node in the Figure 9 reproduction: SORT and accumulate traffic from
+  many ranks divides a fixed byte rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Optional
+
+from repro.sim.engine import Engine, SimEvent, ScheduledCall
+from repro.util.errors import SimulationError
+from repro.util.validation import check_positive
+
+__all__ = ["Resource", "BandwidthResource"]
+
+
+class Resource:
+    """Counted semaphore with FIFO waiting.
+
+    ``acquire()`` returns a :class:`SimEvent` to ``yield`` on; pair every
+    successful acquire with exactly one ``release()``.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[tuple[SimEvent, float]] = deque()
+        # statistics
+        self.total_acquisitions = 0
+        self.total_wait_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self) -> SimEvent:
+        """Request a slot; the returned event fires when it is granted."""
+        event = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.total_acquisitions += 1
+            event.succeed()
+        else:
+            self._waiters.append((event, self.engine.now))
+        return event
+
+    def release(self) -> None:
+        """Return a slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of un-acquired resource {self.name!r}")
+        if self._waiters:
+            waiter, enqueued_at = self._waiters.popleft()
+            self.total_acquisitions += 1
+            self.total_wait_time += self.engine.now - enqueued_at
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """Generator helper: hold one slot for ``duration`` virtual seconds.
+
+        Use as ``yield from resource.use(dt)`` inside a process.
+        """
+        yield self.acquire()
+        try:
+            yield self.engine.timeout(duration)
+        finally:
+            self.release()
+
+
+class _PSJob:
+    __slots__ = ("remaining", "event", "start_time", "size")
+
+    def __init__(self, remaining: float, event: SimEvent, start_time: float) -> None:
+        self.remaining = remaining
+        self.size = remaining
+        self.event = event
+        self.start_time = start_time
+
+
+class BandwidthResource:
+    """Fluid processor-sharing server.
+
+    ``transfer(amount)`` injects a job of ``amount`` work units (e.g.
+    bytes); all active jobs receive ``capacity / n_jobs`` units per
+    second. The returned event fires when the job's work is done. This
+    gives exact egalitarian sharing, the usual first-order model for a
+    memory controller shared by symmetric cores.
+    """
+
+    _EPS = 1e-12
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: float,
+        name: str = "",
+        per_job_cap: Optional[float] = None,
+    ) -> None:
+        check_positive("BandwidthResource capacity", capacity)
+        if per_job_cap is not None:
+            check_positive("BandwidthResource per_job_cap", per_job_cap)
+        self.engine = engine
+        self.capacity = capacity
+        self.per_job_cap = per_job_cap
+        self.name = name
+        self._jobs: list[_PSJob] = []
+        self._last_update = engine.now
+        self._wakeup: Optional[ScheduledCall] = None
+        self._seq = itertools.count()
+        # statistics
+        self.total_work = 0.0
+        self.busy_time = 0.0
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently being served."""
+        return len(self._jobs)
+
+    def transfer(self, amount: float) -> SimEvent:
+        """Inject ``amount`` work units; event fires at completion.
+
+        Zero-size transfers complete immediately (still via the heap).
+        """
+        if amount < 0:
+            raise SimulationError(f"negative transfer amount {amount}")
+        event = self.engine.event()
+        if amount == 0:
+            event.succeed()
+            return event
+        self._advance()
+        self._jobs.append(_PSJob(amount, event, self.engine.now))
+        self.total_work += amount
+        self._reschedule()
+        return event
+
+    # ------------------------------------------------------------------
+    def _rate(self) -> float:
+        """Per-job service rate: equal share, optionally capped.
+
+        The cap models a single core's copy bandwidth — one thread
+        cannot saturate the whole memory controller, so a lone job gets
+        ``per_job_cap`` while many concurrent jobs share ``capacity``.
+        """
+        share = self.capacity / len(self._jobs)
+        if self.per_job_cap is not None:
+            return min(share, self.per_job_cap)
+        return share
+
+    def _advance(self) -> None:
+        """Charge elapsed time against every active job."""
+        now = self.engine.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._jobs:
+            return
+        self.busy_time += dt
+        served = dt * self._rate()
+        for job in self._jobs:
+            job.remaining -= served
+
+    def _reschedule(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+        if not self._jobs:
+            return
+        min_remaining = min(job.remaining for job in self._jobs)
+        delay = max(0.0, min_remaining / self._rate())
+        self._wakeup = self.engine.schedule(delay, self._on_wakeup)
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        self._advance()
+        if not self._jobs:
+            return
+        rate = self._rate()
+        now = self.engine.now
+        finished = [
+            j
+            for j in self._jobs
+            if j.remaining <= self._EPS * j.size
+            # residual so small its completion delay underflows the
+            # float clock (now + delay == now): finishing it now is the
+            # only way time can advance
+            or now + j.remaining / rate == now
+        ]
+        if not finished:
+            # Numerical drift; just reschedule for the residual.
+            self._reschedule()
+            return
+        done = set(map(id, finished))
+        self._jobs = [j for j in self._jobs if id(j) not in done]
+        for job in finished:
+            job.event.succeed()
+        self._reschedule()
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time with at least one active job up to now."""
+        self._advance()
+        total = horizon if horizon is not None else self.engine.now
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / total)

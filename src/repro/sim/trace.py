@@ -1,0 +1,182 @@
+"""Execution tracing — the stand-in for PaRSEC's instrumentation module.
+
+The paper generates Figures 10-13 with "PaRSEC's native performance
+instrumentation module", and notes the same API can instrument arbitrary
+code (it traces the *original* NWChem run too, Fig. 12). We mirror that:
+:class:`TraceRecorder` is runtime-agnostic; both the legacy CGP runtime
+and the PaRSEC runtime record :class:`TraceEvent` spans into it, one row
+per (node, thread), colour-coded by :class:`TaskCategory` exactly like
+the paper's traces (red GEMM, blue read-A, purple read-B, yellow
+reduction, light-green write, grey idle).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["TaskCategory", "TraceEvent", "TraceRecorder"]
+
+
+class TaskCategory(str, Enum):
+    """Task-class colour categories, matching the paper's trace legend."""
+
+    GEMM = "gemm"          # red in the paper's traces
+    READ_A = "read_a"      # blue
+    READ_B = "read_b"      # purple
+    REDUCE = "reduce"      # yellow
+    SORT = "sort"
+    WRITE = "write"        # light green
+    DFILL = "dfill"
+    COMM = "comm"          # communication (GET_HASH_BLOCK etc.)
+    NXTVAL = "nxtval"
+    BARRIER = "barrier"
+    OTHER = "other"
+
+    @property
+    def is_communication(self) -> bool:
+        """True for categories that represent data movement, not compute."""
+        return self in (TaskCategory.COMM, TaskCategory.READ_A, TaskCategory.READ_B)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One closed span on one simulated thread."""
+
+    node: int
+    thread: int
+    category: TaskCategory
+    label: str
+    t_start: float
+    t_end: float
+    meta: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        d = {
+            "node": self.node,
+            "thread": self.thread,
+            "category": self.category.value,
+            "label": self.label,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+        }
+        if self.meta:
+            d["meta"] = self.meta
+        return d
+
+
+class TraceRecorder:
+    """Collects spans; offers filtered views and serialization.
+
+    Recording can be disabled wholesale (``enabled=False``) for the big
+    performance sweeps where only end-to-end time matters.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self,
+        node: int,
+        thread: int,
+        category: TaskCategory,
+        label: str,
+        t_start: float,
+        t_end: float,
+        meta: Optional[dict] = None,
+    ) -> None:
+        """Record one closed span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if t_end < t_start:
+            raise ValueError(f"span ends before it starts: {label} {t_start}..{t_end}")
+        self.events.append(
+            TraceEvent(node, thread, category, label, t_start, t_end, meta)
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filtered(
+        self,
+        category: Optional[TaskCategory] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> list[TraceEvent]:
+        """Events matching all the given criteria."""
+        out = self.events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if node is not None:
+            out = [e for e in out if e.node == node]
+        if predicate is not None:
+            out = [e for e in out if predicate(e)]
+        return list(out)
+
+    def threads(self) -> list[tuple[int, int]]:
+        """Sorted list of distinct (node, thread) rows."""
+        return sorted({(e.node, e.thread) for e in self.events})
+
+    def by_thread(self) -> dict[tuple[int, int], list[TraceEvent]]:
+        """Events grouped per (node, thread), each group time-sorted."""
+        groups: dict[tuple[int, int], list[TraceEvent]] = {}
+        for event in self.events:
+            groups.setdefault((event.node, event.thread), []).append(event)
+        for spans in groups.values():
+            spans.sort(key=lambda e: (e.t_start, e.t_end))
+        return groups
+
+    def makespan(self) -> float:
+        """Latest span end minus earliest span start (0 for empty traces)."""
+        if not self.events:
+            return 0.0
+        start = min(e.t_start for e in self.events)
+        end = max(e.t_end for e in self.events)
+        return end - start
+
+    def total_time_by_category(self) -> dict[TaskCategory, float]:
+        """Sum of span durations per category."""
+        totals: dict[TaskCategory, float] = {}
+        for event in self.events:
+            totals[event.category] = totals.get(event.category, 0.0) + event.duration
+        return totals
+
+    def count_by_category(self) -> dict[TaskCategory, int]:
+        """Number of spans per category."""
+        counts: dict[TaskCategory, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize every span as a JSON array of objects."""
+        return json.dumps([e.to_dict() for e in self.events], indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceRecorder":
+        """Inverse of :meth:`to_json`."""
+        recorder = cls()
+        for d in json.loads(text):
+            recorder.record(
+                d["node"],
+                d["thread"],
+                TaskCategory(d["category"]),
+                d["label"],
+                d["t_start"],
+                d["t_end"],
+                d.get("meta"),
+            )
+        return recorder

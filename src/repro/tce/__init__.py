@@ -1,0 +1,56 @@
+"""Tensor Contraction Engine (TCE) substrate.
+
+The paper's workload is the TCE-generated ``icsd_t2_7()`` subroutine of
+NWChem's iterative CCSD: deep loop nests over *tiles* of the occupied
+(hole) and virtual (particle) orbital spaces, with IF-guarded chains of
+GEMMs whose output is SORTed (permuted) and accumulated into a Global
+Array. This package rebuilds that workload generator:
+
+- :mod:`repro.tce.orbital_space` — tiled hole/particle spaces;
+- :mod:`repro.tce.tensor` — block tensors laid out flat in a GA;
+- :mod:`repro.tce.subroutine` — the chain/GEMM/SORT/WRITE IR both
+  runtimes execute;
+- :mod:`repro.tce.t2_7` — the ``icsd_t2_7`` generator: chains over the
+  contracted tile pairs, the four non-mutually-exclusive IF-guarded
+  SORT_4 targets, and a TCE-style symmetry filter that voids some loop
+  iterations (what the PaRSEC inspection phase discovers);
+- :mod:`repro.tce.molecules` — the beta-carotene/6-31G system of the
+  evaluation (472 basis functions) plus scaled-down test systems;
+- :mod:`repro.tce.reference` — an independent dense-NumPy re-computation
+  of the subroutine semantics and the correlation-energy probe used for
+  the "matches to the 14th digit" check.
+"""
+
+from repro.tce.orbital_space import OrbitalSpace, Tile
+from repro.tce.tensor import BlockLayout, BlockTensor
+from repro.tce.subroutine import BlockRef, ChainSpec, GemmOp, SortWrite, Subroutine
+from repro.tce.molecules import MoleculeSystem, beta_carotene, tiny_system, small_system
+from repro.tce.terms import TermBuilder, TermSpec, build_term
+from repro.tce.cc_iteration import CcsdIteration, build_ccsd_iteration
+from repro.tce.t2_7 import T27Workload, build_t2_7
+from repro.tce.reference import compute_reference, correlation_energy
+
+__all__ = [
+    "OrbitalSpace",
+    "Tile",
+    "BlockLayout",
+    "BlockTensor",
+    "BlockRef",
+    "ChainSpec",
+    "GemmOp",
+    "SortWrite",
+    "Subroutine",
+    "MoleculeSystem",
+    "beta_carotene",
+    "tiny_system",
+    "small_system",
+    "TermBuilder",
+    "TermSpec",
+    "build_term",
+    "CcsdIteration",
+    "build_ccsd_iteration",
+    "T27Workload",
+    "build_t2_7",
+    "compute_reference",
+    "correlation_energy",
+]

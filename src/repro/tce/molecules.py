@@ -1,0 +1,100 @@
+"""Model chemical systems.
+
+The paper evaluates on beta-carotene (C40H56) in the 6-31G basis set —
+"472 basis set functions". C40H56 has 296 electrons, i.e. 148 occupied
+spatial orbitals, leaving 324 virtuals. We carry those orbital counts
+(what determines tile structure, chain counts, and GEMM shapes) and a
+typical TCE tile size; the actual integral *values* are seeded synthetic
+data, since the performance and dataflow behaviour under study does not
+depend on them (the paper itself checks only that all variants agree on
+the correlation energy, which we verify the same way).
+
+Scaled-down systems keep the same tile arithmetic at sizes where REAL
+data mode is cheap, for tests and the equivalence benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tce.orbital_space import OrbitalSpace
+
+__all__ = [
+    "MoleculeSystem",
+    "beta_carotene",
+    "tiny_system",
+    "small_system",
+    "SCALE_PRESETS",
+    "system_for_scale",
+]
+
+
+@dataclass(frozen=True)
+class MoleculeSystem:
+    """A named orbital-space configuration."""
+
+    name: str
+    nocc: int
+    nvirt: int
+    tile_size: int
+    description: str = ""
+
+    @property
+    def n_basis(self) -> int:
+        return self.nocc + self.nvirt
+
+    def orbital_space(self) -> OrbitalSpace:
+        """Build the tiled orbital space for this system."""
+        return OrbitalSpace(self.nocc, self.nvirt, self.tile_size)
+
+
+def beta_carotene(tile_size: int = 40) -> MoleculeSystem:
+    """Beta-carotene / 6-31G: the paper's input molecule (472 bf)."""
+    return MoleculeSystem(
+        name="beta-carotene",
+        nocc=148,
+        nvirt=324,
+        tile_size=tile_size,
+        description="C40H56 in 6-31G: 472 basis functions, 296 electrons",
+    )
+
+
+def tiny_system() -> MoleculeSystem:
+    """Minimal system for unit tests with REAL data (a few hundred GEMMs)."""
+    return MoleculeSystem(
+        name="tiny",
+        nocc=8,
+        nvirt=16,
+        tile_size=4,
+        description="synthetic test system: 2 hole tiles x 4 particle tiles",
+    )
+
+
+def small_system() -> MoleculeSystem:
+    """Integration-test system with REAL data (a few thousand GEMMs)."""
+    return MoleculeSystem(
+        name="small",
+        nocc=24,
+        nvirt=48,
+        tile_size=8,
+        description="synthetic test system: 3 hole tiles x 6 particle tiles",
+    )
+
+
+#: Named presets accepted by the benchmarks' REPRO_SCALE environment knob.
+SCALE_PRESETS: dict[str, MoleculeSystem] = {
+    "tiny": tiny_system(),
+    "small": small_system(),
+    "paper": beta_carotene(tile_size=40),
+    "full": beta_carotene(tile_size=32),
+}
+
+
+def system_for_scale(scale: str) -> MoleculeSystem:
+    """Look up a scale preset (see DESIGN.md section 7)."""
+    try:
+        return SCALE_PRESETS[scale]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALE_PRESETS)}"
+        ) from None

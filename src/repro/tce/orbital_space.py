@@ -1,0 +1,104 @@
+"""Tiled orbital spaces.
+
+TCE partitions the occupied ("hole") and virtual ("particle") orbital
+ranges into tiles; every tensor index in the generated code is a tile
+index (``h1b``, ``p3b``, …) and every kernel operates on whole tiles.
+Tile sizes determine the GEMM shapes and the chain counts — the two
+workload parameters the paper's performance behaviour hinges on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Tile", "OrbitalSpace"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of an orbital range.
+
+    ``kind`` is ``'h'`` (hole/occupied) or ``'p'`` (particle/virtual);
+    ``index`` counts tiles within the kind; ``offset`` is the first
+    orbital of the tile within its kind's range.
+    """
+
+    kind: str
+    index: int
+    size: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("h", "p"):
+            raise ConfigurationError(f"tile kind must be 'h' or 'p', got {self.kind!r}")
+        if self.size < 1:
+            raise ConfigurationError(f"tile size must be >= 1, got {self.size}")
+
+
+def _tile_range(kind: str, total: int, tile_size: int) -> tuple[Tile, ...]:
+    tiles = []
+    offset = 0
+    index = 0
+    while offset < total:
+        size = min(tile_size, total - offset)
+        tiles.append(Tile(kind, index, size, offset))
+        offset += size
+        index += 1
+    return tuple(tiles)
+
+
+class OrbitalSpace:
+    """Occupied + virtual orbital ranges cut into tiles.
+
+    Parameters
+    ----------
+    nocc, nvirt:
+        Number of occupied / virtual spin orbitals (``nocc + nvirt`` is
+        the basis-set size the paper quotes: 472 for beta-carotene in
+        6-31G).
+    tile_size:
+        Maximum orbitals per tile; the trailing tile of each range may
+        be smaller.
+    """
+
+    def __init__(self, nocc: int, nvirt: int, tile_size: int) -> None:
+        if nocc < 1 or nvirt < 1:
+            raise ConfigurationError(
+                f"need nocc >= 1 and nvirt >= 1, got {nocc}/{nvirt}"
+            )
+        if tile_size < 1:
+            raise ConfigurationError(f"tile_size must be >= 1, got {tile_size}")
+        self.nocc = nocc
+        self.nvirt = nvirt
+        self.tile_size = tile_size
+        self.holes: tuple[Tile, ...] = _tile_range("h", nocc, tile_size)
+        self.particles: tuple[Tile, ...] = _tile_range("p", nvirt, tile_size)
+
+    @property
+    def n_basis(self) -> int:
+        """Total basis-set size (what the paper calls N)."""
+        return self.nocc + self.nvirt
+
+    @property
+    def n_hole_tiles(self) -> int:
+        return len(self.holes)
+
+    @property
+    def n_particle_tiles(self) -> int:
+        return len(self.particles)
+
+    def tiles(self, kind: str) -> tuple[Tile, ...]:
+        """Tile list for one kind ('h' or 'p')."""
+        if kind == "h":
+            return self.holes
+        if kind == "p":
+            return self.particles
+        raise ConfigurationError(f"unknown tile kind {kind!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OrbitalSpace(nocc={self.nocc}, nvirt={self.nvirt}, "
+            f"tile={self.tile_size}: {self.n_hole_tiles}h x {self.n_particle_tiles}p)"
+        )

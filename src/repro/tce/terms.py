@@ -1,0 +1,223 @@
+"""Generic TCE contraction terms.
+
+``icsd_t2_7`` is one of "more than 60 sub-kernels" the TCE generates
+for the iterative CCSD equations (Section III-A). The sub-kernels share
+one shape — IF-guarded chains of GEMMs over tile blocks, four guarded
+SORT_4/ADD_HASH_BLOCK targets — and differ in *which* index spaces are
+contracted: ring terms contract one hole and one particle index,
+ladder terms contract two holes or two particles, and one-index terms
+contract a single tile index.
+
+:class:`TermSpec` names a term by its contracted index kinds;
+:func:`build_term` produces a full :class:`~repro.tce.subroutine.Subroutine`
+for it, allocating (or reusing) the operand tensors:
+
+- A operand: ``contraction + 'pp'`` indexed ``(k..., p3, p4)``,
+- B operand: ``contraction + 'hh'`` indexed ``(k..., h1, h2)``,
+- output: the shared ``i2(p3, p4, h1, h2)`` residual tensor.
+
+so every term lowers to the same ``C(m,n) += A(k,m)^T B(k,n)`` chains
+the paper's PTG executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional
+
+from repro.tce.orbital_space import OrbitalSpace
+from repro.tce.subroutine import BlockRef, ChainSpec, GemmOp, SortWrite, Subroutine
+from repro.tce.tensor import BlockTensor
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+__all__ = ["TermSpec", "TermBuilder", "build_term", "SORT_VARIANTS"]
+
+#: axis permutations and antisymmetry signs of the four SORT_4 branches
+SORT_VARIANTS: tuple[tuple[tuple[int, int, int, int], float], ...] = (
+    ((0, 1, 2, 3), +1.0),
+    ((0, 1, 3, 2), -1.0),
+    ((1, 0, 2, 3), -1.0),
+    ((1, 0, 3, 2), +1.0),
+)
+
+
+@dataclass(frozen=True)
+class TermSpec:
+    """One TCE sub-kernel: a name, contracted kinds, and a work level."""
+
+    name: str
+    #: contracted index kinds, e.g. 'hp' (ring), 'pp'/'hh' (ladders),
+    #: 'h' or 'p' (one-index terms)
+    contraction: str
+    #: which of the seven barrier-separated levels it belongs to
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if not (1 <= len(self.contraction) <= 2):
+            raise ConfigurationError(
+                f"{self.name}: contraction must have 1 or 2 indices, "
+                f"got {self.contraction!r}"
+            )
+        if any(kind not in "hp" for kind in self.contraction):
+            raise ConfigurationError(
+                f"{self.name}: contraction kinds must be 'h'/'p', "
+                f"got {self.contraction!r}"
+            )
+
+    @property
+    def a_dims(self) -> str:
+        return self.contraction + "pp"
+
+    @property
+    def b_dims(self) -> str:
+        return self.contraction + "hh"
+
+
+class TermBuilder:
+    """Builds term subroutines over a shared tensor pool.
+
+    Operand tensors are keyed by their dimension signature so terms
+    with the same contraction reuse storage (as the real integral and
+    amplitude arrays are shared between sub-kernels); the ``i2`` output
+    is one tensor all terms accumulate into.
+    """
+
+    def __init__(
+        self,
+        ga,
+        space: OrbitalSpace,
+        seed: int = 7,
+        symmetry_filter: bool = True,
+    ) -> None:
+        self.ga = ga
+        self.space = space
+        self.seed = seed
+        self.symmetry_filter = symmetry_filter
+        self._tensors: dict[str, BlockTensor] = {}
+        self.i2 = self._tensor("i2", "pphh", fill=False)
+
+    # ------------------------------------------------------------------
+    def _tensor(self, name: str, dims: str, fill: bool = True) -> BlockTensor:
+        key = f"{name}:{dims}"
+        tensor = self._tensors.get(key)
+        if tensor is None:
+            tensor = BlockTensor.create(self.ga, key, self.space, dims)
+            if fill:
+                tensor.fill_random(RngStream(self.seed, key))
+            self._tensors[key] = tensor
+        return tensor
+
+    def operand_tensors(self, spec: TermSpec) -> tuple[BlockTensor, BlockTensor]:
+        """The (A, B) tensors a term contracts (allocated on demand)."""
+        a = self._tensor("v", spec.a_dims)
+        b = self._tensor("t", spec.b_dims)
+        return a, b
+
+    # ------------------------------------------------------------------
+    def _keep_iteration(self, contr_key: tuple, out_key: tuple) -> bool:
+        """The spin/spatial-symmetry IF around each innermost body."""
+        if not self.symmetry_filter:
+            return True
+        return (sum(contr_key) + sum(out_key)) % 2 == 0
+
+    def build(self, spec: TermSpec) -> Subroutine:
+        """Generate the full chain IR for one term."""
+        space = self.space
+        a_tensor, b_tensor = self.operand_tensors(spec)
+        contr_ranges = [range(len(space.tiles(kind))) for kind in spec.contraction]
+        chains: list[ChainSpec] = []
+        chain_id = 0
+        n_p = space.n_particle_tiles
+        n_h = space.n_hole_tiles
+        for p3b in range(n_p):
+            for p4b in range(p3b, n_p):
+                for h1b in range(n_h):
+                    for h2b in range(h1b, n_h):
+                        key = (p3b, p4b, h1b, h2b)
+                        m = space.particles[p3b].size * space.particles[p4b].size
+                        n = space.holes[h1b].size * space.holes[h2b].size
+                        gemms: list[GemmOp] = []
+                        position = 0
+                        for contr_key in product(*contr_ranges):
+                            if not self._keep_iteration(contr_key, key):
+                                continue
+                            k = 1
+                            for kind, index in zip(spec.contraction, contr_key):
+                                k *= space.tiles(kind)[index].size
+                            gemms.append(
+                                GemmOp(
+                                    position=position,
+                                    a=BlockRef.of(a_tensor, contr_key + (p3b, p4b)),
+                                    b=BlockRef.of(b_tensor, contr_key + (h1b, h2b)),
+                                    m=m,
+                                    n=n,
+                                    k=k,
+                                )
+                            )
+                            position += 1
+                        if not gemms:
+                            continue
+                        chains.append(
+                            ChainSpec(
+                                chain_id=chain_id,
+                                key=key,
+                                tile_shape=(
+                                    space.particles[p3b].size,
+                                    space.particles[p4b].size,
+                                    space.holes[h1b].size,
+                                    space.holes[h2b].size,
+                                ),
+                                gemms=tuple(gemms),
+                                sort_writes=self._sort_writes(key),
+                                level=spec.level,
+                            )
+                        )
+                        chain_id += 1
+        return Subroutine(
+            name=spec.name,
+            chains=chains,
+            inputs=[a_tensor, b_tensor],
+            output=self.i2,
+            level=spec.level,
+        )
+
+    def _sort_writes(self, key: tuple[int, int, int, int]) -> tuple[SortWrite, ...]:
+        p3b, p4b, h1b, h2b = key
+        guards = (
+            p3b <= p4b and h1b <= h2b,
+            p3b <= p4b and h2b <= h1b,
+            p4b <= p3b and h1b <= h2b,
+            p4b <= p3b and h2b <= h1b,
+        )
+        target_keys = (
+            (p3b, p4b, h1b, h2b),
+            (p3b, p4b, h2b, h1b),
+            (p4b, p3b, h1b, h2b),
+            (p4b, p3b, h2b, h1b),
+        )
+        return tuple(
+            SortWrite(
+                sort_index=index,
+                guard=guard,
+                perm=perm,
+                sign=sign,
+                target=BlockRef.of(self.i2, target_key),
+            )
+            for index, ((perm, sign), guard, target_key) in enumerate(
+                zip(SORT_VARIANTS, guards, target_keys)
+            )
+        )
+
+
+def build_term(
+    ga,
+    space: OrbitalSpace,
+    spec: TermSpec,
+    seed: int = 7,
+    symmetry_filter: bool = True,
+) -> Subroutine:
+    """One-shot convenience: a fresh builder, one term."""
+    builder = TermBuilder(ga, space, seed=seed, symmetry_filter=symmetry_filter)
+    return builder.build(spec)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class. Subclasses partition the failure domains: simulation
+kernel misuse, PTG dataflow contract violations, configuration problems,
+and Global Arrays API misuse.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel.
+
+    Raised for things like resuming a finished process, releasing a
+    resource that is not held, or scheduling at a negative delay.
+    """
+
+
+class DataflowError(ReproError):
+    """A PTG dataflow contract was violated.
+
+    Examples: a task consumed an input no predecessor produces, a flow
+    received two producers for the same data version, or a guard
+    expression referenced an unknown parameter.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment, cluster, or variant configuration."""
+
+
+class GlobalArrayError(ReproError):
+    """Misuse of the simulated Global Arrays API.
+
+    Examples: out-of-bounds region access, accessing remote memory
+    through ``ga_access`` (which is local-only), or operating on a
+    destroyed array.
+    """

@@ -1,0 +1,153 @@
+"""Unit + property tests for the element-contiguous GA distribution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ga.distribution import Distribution, Segment
+from repro.util.errors import GlobalArrayError
+
+
+class TestBasics:
+    def test_even_split(self):
+        dist = Distribution(100, 4)
+        assert [dist.node_range(n) for n in range(4)] == [
+            (0, 25),
+            (25, 50),
+            (50, 75),
+            (75, 100),
+        ]
+
+    def test_uneven_split_front_loads_remainder(self):
+        dist = Distribution(10, 3)
+        assert [dist.node_range(n) for n in range(3)] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_nodes_than_elements(self):
+        dist = Distribution(2, 5)
+        ranges = [dist.node_range(n) for n in range(5)]
+        assert ranges[0] == (0, 1)
+        assert ranges[1] == (1, 2)
+        assert all(lo == hi for lo, hi in ranges[2:])
+
+    def test_owner_of(self):
+        dist = Distribution(10, 3)
+        assert dist.owner_of(0) == 0
+        assert dist.owner_of(3) == 0
+        assert dist.owner_of(4) == 1
+        assert dist.owner_of(9) == 2
+
+    def test_owner_of_out_of_bounds(self):
+        dist = Distribution(10, 3)
+        with pytest.raises(GlobalArrayError):
+            dist.owner_of(10)
+        with pytest.raises(GlobalArrayError):
+            dist.owner_of(-1)
+
+    def test_validation(self):
+        with pytest.raises(GlobalArrayError):
+            Distribution(-1, 3)
+        with pytest.raises(GlobalArrayError):
+            Distribution(10, 0)
+
+    def test_zero_length_array(self):
+        dist = Distribution(0, 3)
+        assert dist.segments(0, 0) == []
+        assert dist.distribution() == []
+
+
+class TestSegments:
+    def test_range_within_one_node(self):
+        dist = Distribution(100, 4)
+        assert dist.segments(5, 20) == [Segment(0, 5, 20)]
+
+    def test_range_straddling_two_nodes(self):
+        dist = Distribution(100, 4)
+        assert dist.segments(20, 30) == [Segment(0, 20, 25), Segment(1, 25, 30)]
+
+    def test_range_straddling_three_nodes(self):
+        dist = Distribution(100, 4)
+        segs = dist.segments(20, 60)
+        assert segs == [
+            Segment(0, 20, 25),
+            Segment(1, 25, 50),
+            Segment(2, 50, 60),
+        ]
+
+    def test_empty_range(self):
+        dist = Distribution(100, 4)
+        assert dist.segments(30, 30) == []
+
+    def test_out_of_bounds_rejected(self):
+        dist = Distribution(100, 4)
+        with pytest.raises(GlobalArrayError):
+            dist.segments(-1, 10)
+        with pytest.raises(GlobalArrayError):
+            dist.segments(90, 101)
+        with pytest.raises(GlobalArrayError):
+            dist.segments(50, 40)
+
+    def test_last_segment_owner_matches_paper_lookup(self):
+        dist = Distribution(100, 4)
+        assert dist.last_segment_owner(20, 30) == 1
+        assert dist.last_segment_owner(0, 25) == 0
+        assert dist.last_segment_owner(0, 26) == 1
+
+    def test_last_segment_owner_empty_range_rejected(self):
+        dist = Distribution(100, 4)
+        with pytest.raises(GlobalArrayError):
+            dist.last_segment_owner(5, 5)
+
+    def test_distribution_skips_empty_nodes(self):
+        dist = Distribution(2, 5)
+        assert dist.distribution() == [Segment(0, 0, 1), Segment(1, 1, 2)]
+
+
+@given(
+    total=st.integers(min_value=0, max_value=5000),
+    n_nodes=st.integers(min_value=1, max_value=64),
+)
+def test_node_ranges_partition_the_array(total, n_nodes):
+    dist = Distribution(total, n_nodes)
+    cursor = 0
+    for node in range(n_nodes):
+        lo, hi = dist.node_range(node)
+        assert lo == cursor
+        assert hi >= lo
+        cursor = hi
+    assert cursor == total
+
+
+@given(
+    total=st.integers(min_value=1, max_value=5000),
+    n_nodes=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_segments_exactly_tile_any_range(total, n_nodes, data):
+    dist = Distribution(total, n_nodes)
+    lo = data.draw(st.integers(min_value=0, max_value=total))
+    hi = data.draw(st.integers(min_value=lo, max_value=total))
+    segments = dist.segments(lo, hi)
+    # contiguous, ordered, and covering [lo, hi)
+    cursor = lo
+    for seg in segments:
+        assert seg.lo == cursor
+        assert seg.hi > seg.lo
+        assert dist.owner_of(seg.lo) == seg.node
+        assert dist.owner_of(seg.hi - 1) == seg.node
+        cursor = seg.hi
+    assert cursor == hi
+    # maximality: adjacent segments have different owners
+    for left, right in zip(segments, segments[1:]):
+        assert left.node != right.node
+
+
+@given(
+    total=st.integers(min_value=1, max_value=2000),
+    n_nodes=st.integers(min_value=1, max_value=32),
+    index=st.integers(min_value=0, max_value=10**9),
+)
+def test_owner_of_agrees_with_node_range(total, n_nodes, index):
+    dist = Distribution(total, n_nodes)
+    index = index % total
+    owner = dist.owner_of(index)
+    lo, hi = dist.node_range(owner)
+    assert lo <= index < hi

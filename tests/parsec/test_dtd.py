@@ -1,0 +1,192 @@
+"""Tests for the Dynamic Task Discovery runtime and its CCSD port."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtd_port import run_over_dtd
+from repro.core.executor import run_over_parsec
+from repro.core.variants import V5
+from repro.ga.runtime import GlobalArrays
+from repro.parsec.dtd import AccessMode, DtdRuntime
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.cost import OpCost
+from repro.sim.trace import TaskCategory
+from repro.tce.molecules import tiny_system
+from repro.tce.reference import compute_reference, correlation_energy
+from repro.tce.t2_7 import build_t2_7
+from repro.util.errors import DataflowError
+
+
+def make_cluster(n_nodes=2, cores=2, data_mode=DataMode.REAL):
+    return Cluster(
+        ClusterConfig(n_nodes=n_nodes, cores_per_node=cores, data_mode=data_mode)
+    )
+
+
+def burn(duration, log=None, write=None, value=None):
+    def body(ctx):
+        yield from ctx.charge(OpCost(duration, 0.0))
+        if log is not None:
+            log.append((ctx.task.name, ctx.cluster.engine.now))
+        if write is not None:
+            ctx.write(write, value)
+
+    return body
+
+
+class TestDependenceInference:
+    def test_read_after_write(self):
+        cluster = make_cluster()
+        runtime = DtdRuntime(cluster)
+        x = runtime.data("x", 1, 0)
+        log = []
+        runtime.insert_task("W", burn(1.0, log, "x", 42), [(x, AccessMode.WRITE)], node=0)
+        runtime.insert_task("R", burn(0.5, log), [(x, AccessMode.READ)], node=0)
+        result = runtime.execute()
+        assert [name for name, _ in log] == ["W", "R"]
+        assert result.n_edges == 1
+
+    def test_write_after_read_antidependence(self):
+        cluster = make_cluster()
+        runtime = DtdRuntime(cluster)
+        x = runtime.data("x", 1, 0)
+        log = []
+        runtime.insert_task("W1", burn(1.0, log, "x", 1), [(x, AccessMode.WRITE)], node=0)
+        runtime.insert_task("R1", burn(1.0, log), [(x, AccessMode.READ)], node=0)
+        runtime.insert_task("R2", burn(1.0, log), [(x, AccessMode.READ)], node=0)
+        runtime.insert_task("W2", burn(1.0, log, "x", 2), [(x, AccessMode.WRITE)], node=0)
+        runtime.execute()
+        order = {name: i for i, (name, _) in enumerate(log)}
+        assert order["W1"] < order["R1"] and order["W1"] < order["R2"]
+        assert order["W2"] > order["R1"] and order["W2"] > order["R2"]
+
+    def test_independent_tasks_run_in_parallel(self):
+        cluster = make_cluster(cores=4)
+        runtime = DtdRuntime(cluster)
+        finish = []
+
+        def body(ctx):
+            yield from ctx.charge(OpCost(1.0, 0.0))
+            finish.append(ctx.cluster.engine.now)
+
+        for i in range(4):
+            x = runtime.data(f"x{i}", 1, 0)
+            runtime.insert_task(f"T{i}", body, [(x, AccessMode.WRITE)], node=0)
+        result = runtime.execute()
+        assert result.n_edges == 0
+        # all ran concurrently (plus insertion + per-task overhead)
+        assert max(finish) - min(finish) < 0.5
+
+    def test_rw_chains_serialize(self):
+        cluster = make_cluster(cores=4)
+        runtime = DtdRuntime(cluster)
+        acc = runtime.data("acc", 1, 0)
+        log = []
+        for i in range(5):
+            runtime.insert_task(f"U{i}", burn(0.2, log), [(acc, AccessMode.RW)], node=0)
+        runtime.execute()
+        assert [name for name, _ in log] == [f"U{i}" for i in range(5)]
+
+    def test_values_flow_between_tasks(self):
+        cluster = make_cluster()
+        runtime = DtdRuntime(cluster)
+        x = runtime.data("x", 1, 0)
+        got = {}
+
+        def producer(ctx):
+            yield from ctx.charge(OpCost(0.1, 0.0))
+            ctx.write("x", 99)
+
+        def consumer(ctx):
+            yield from ctx.charge(OpCost(0.1, 0.0))
+            got["x"] = ctx.data["x"]
+
+        runtime.insert_task("P", producer, [(x, AccessMode.WRITE)], node=0)
+        runtime.insert_task("C", consumer, [(x, AccessMode.READ)], node=1)
+        result = runtime.execute()
+        assert got["x"] == 99
+        assert result.messages_remote == 1
+
+    def test_insert_after_execute_rejected(self):
+        cluster = make_cluster()
+        runtime = DtdRuntime(cluster)
+        runtime.execute()
+        with pytest.raises(DataflowError):
+            runtime.insert_task("late", burn(0.1), [], node=0)
+
+    def test_bad_access_mode_rejected(self):
+        cluster = make_cluster()
+        runtime = DtdRuntime(cluster)
+        x = runtime.data("x", 1, 0)
+        with pytest.raises(DataflowError):
+            runtime.insert_task("T", burn(0.1), [(x, "bogus")], node=0)
+
+    def test_insertion_time_charged(self):
+        cluster = make_cluster()
+        runtime = DtdRuntime(cluster)
+        for i in range(10):
+            x = runtime.data(f"x{i}", 1, 0)
+            runtime.insert_task(f"T{i}", burn(0.0), [(x, AccessMode.WRITE)], node=0)
+        result = runtime.execute()
+        assert result.insertion_time > 0
+        assert result.execution_time >= result.insertion_time
+
+
+class TestCcsdOverDtd:
+    def test_numerics_match_reference(self):
+        cluster = make_cluster(n_nodes=4)
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+        result = run_over_dtd(cluster, workload.subroutine)
+        expected = compute_reference(workload)
+        np.testing.assert_allclose(
+            workload.i2.flat_values(), expected, rtol=1e-12, atol=1e-12
+        )
+        assert result.n_tasks > 3 * workload.subroutine.n_gemms
+
+    def test_energy_matches_ptg_to_14_digits(self):
+        def fresh():
+            cluster = make_cluster(n_nodes=4)
+            ga = GlobalArrays(cluster)
+            return cluster, build_t2_7(cluster, ga, tiny_system().orbital_space())
+
+        cluster, workload = fresh()
+        run_over_dtd(cluster, workload.subroutine)
+        dtd_energy = correlation_energy(workload.i2.flat_values())
+        cluster, workload = fresh()
+        run_over_parsec(cluster, workload.subroutine, V5)
+        ptg_energy = correlation_energy(workload.i2.flat_values())
+        assert dtd_energy == pytest.approx(ptg_energy, rel=1e-13)
+
+    def test_dag_is_materialized(self):
+        """The DTD cost the paper calls out: every edge exists in memory."""
+        cluster = make_cluster(n_nodes=4, data_mode=DataMode.SYNTH)
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+        result = run_over_dtd(cluster, workload.subroutine)
+        # at minimum: 2 edges into each GEMM, 1 out of it, plus
+        # reduce/sort/write edges
+        assert result.n_edges >= 3 * workload.subroutine.n_gemms
+
+    def test_trace_has_task_classes(self):
+        cluster = make_cluster(n_nodes=4, data_mode=DataMode.SYNTH)
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+        run_over_dtd(cluster, workload.subroutine)
+        counts = cluster.trace.count_by_category()
+        for category in (
+            TaskCategory.READ_A,
+            TaskCategory.GEMM,
+            TaskCategory.SORT,
+            TaskCategory.WRITE,
+        ):
+            assert counts.get(category, 0) > 0
+
+    def test_deterministic(self):
+        def once():
+            cluster = make_cluster(n_nodes=4, data_mode=DataMode.SYNTH)
+            ga = GlobalArrays(cluster)
+            workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+            return run_over_dtd(cluster, workload.subroutine).execution_time
+
+        assert once() == once()

@@ -1,0 +1,97 @@
+"""Tests for the hybrid (accelerator) execution path."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import run_over_parsec
+from repro.core.variants import V5
+from repro.ga.runtime import GlobalArrays
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.cost import MachineModel
+from repro.tce.molecules import tiny_system
+from repro.tce.reference import compute_reference
+from repro.tce.t2_7 import build_t2_7
+from repro.util.errors import ConfigurationError
+
+
+def make_run(gpus_per_node=0, cores=2, data_mode=DataMode.REAL, **overrides):
+    machine = MachineModel(**overrides) if overrides else MachineModel()
+    cluster = Cluster(
+        ClusterConfig(
+            n_nodes=4,
+            cores_per_node=cores,
+            machine=machine,
+            data_mode=data_mode,
+            gpus_per_node=gpus_per_node,
+        )
+    )
+    ga = GlobalArrays(cluster)
+    workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+    run = run_over_parsec(cluster, workload.subroutine, V5)
+    return cluster, workload, run
+
+
+class TestHybridExecution:
+    def test_gpu_run_matches_reference_numerically(self):
+        cluster, workload, run = make_run(gpus_per_node=1)
+        expected = compute_reference(workload)
+        np.testing.assert_allclose(
+            workload.i2.flat_values(), expected, rtol=1e-12, atol=1e-12
+        )
+
+    def test_gemms_execute_on_gpu_rows(self):
+        cluster, workload, run = make_run(gpus_per_node=1, data_mode=DataMode.SYNTH)
+        from repro.sim.trace import TaskCategory
+
+        gemms = cluster.trace.filtered(category=TaskCategory.GEMM)
+        assert len(gemms) == workload.subroutine.n_gemms
+        # all GEMM spans sit on the dedicated GPU row (thread cores+1)
+        assert {g.thread for g in gemms} == {cluster.cores_per_node + 1}
+        assert all(g.meta["device"] == "gpu0" for g in gemms)
+
+    def test_two_gpus_share_the_work(self):
+        cluster, workload, run = make_run(gpus_per_node=2, data_mode=DataMode.SYNTH)
+        from repro.sim.trace import TaskCategory
+
+        rows = {g.thread for g in cluster.trace.filtered(category=TaskCategory.GEMM)}
+        assert rows == {cluster.cores_per_node + 1, cluster.cores_per_node + 2}
+
+    def test_gpu_speeds_up_compute_bound_configuration(self):
+        """At 1 core/node the CPU run is compute-bound; an accelerator
+        with a much higher DGEMM rate must win."""
+        _, _, cpu_run = make_run(gpus_per_node=0, cores=1, data_mode=DataMode.SYNTH)
+        _, _, gpu_run = make_run(gpus_per_node=1, cores=1, data_mode=DataMode.SYNTH)
+        assert gpu_run.execution_time < cpu_run.execution_time
+
+    def test_pcie_staging_costs_time(self):
+        """A near-zero PCIe link makes the GPU path slower, not faster."""
+        _, _, fast = make_run(
+            gpus_per_node=1, cores=1, data_mode=DataMode.SYNTH
+        )
+        _, _, slow = make_run(
+            gpus_per_node=1,
+            cores=1,
+            data_mode=DataMode.SYNTH,
+            pcie_bytes_per_s=1.0e6,
+        )
+        assert slow.execution_time > fast.execution_time
+
+    def test_non_accelerated_tasks_stay_on_cpu(self):
+        cluster, workload, run = make_run(gpus_per_node=1, data_mode=DataMode.SYNTH)
+        from repro.sim.trace import TaskCategory
+
+        for category in (TaskCategory.SORT, TaskCategory.WRITE, TaskCategory.REDUCE):
+            spans = cluster.trace.filtered(category=category)
+            assert spans, category
+            assert all(s.thread < cluster.cores_per_node for s in spans)
+
+    def test_negative_gpu_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(gpus_per_node=-1)
+
+    def test_gpu_gemm_cost_has_no_host_traffic(self):
+        machine = MachineModel()
+        cpu_cost = machine.gemm(64, 64, 64)
+        gpu_cost = machine.gemm(64, 64, 64, device="gpu")
+        assert gpu_cost.bytes == 0.0
+        assert gpu_cost.cpu < cpu_cost.cpu

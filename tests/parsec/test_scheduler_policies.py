@@ -1,0 +1,91 @@
+"""Tests for the scheduler policy disciplines and the LIFO store."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import run_over_parsec
+from repro.core.variants import V4
+from repro.ga.runtime import GlobalArrays
+from repro.parsec.scheduler import SchedulerPolicy
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.engine import Engine
+from repro.sim.queues import LifoStore
+from repro.tce.molecules import tiny_system
+from repro.tce.reference import compute_reference
+from repro.tce.t2_7 import build_t2_7
+
+
+class TestLifoStore:
+    def test_newest_first(self):
+        engine = Engine()
+        store = LifoStore(engine)
+        for i in range(4):
+            store.put(i)
+        got = []
+
+        def worker():
+            for _ in range(4):
+                got.append((yield store.get()))
+
+        engine.process(worker())
+        engine.run()
+        assert got == [3, 2, 1, 0]
+
+    def test_blocking_get(self):
+        engine = Engine()
+        store = LifoStore(engine)
+        got = []
+
+        def worker():
+            got.append(((yield store.get()), engine.now))
+
+        engine.process(worker())
+        engine.schedule(2.0, store.put, "x")
+        engine.run()
+        assert got == [("x", 2.0)]
+
+    def test_try_get(self):
+        engine = Engine()
+        store = LifoStore(engine)
+        assert store.try_get() == (False, None)
+        store.put("a")
+        store.put("b")
+        assert store.try_get() == (True, "b")
+        assert len(store) == 1
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", list(SchedulerPolicy))
+    def test_every_policy_computes_correct_results(self, policy):
+        cluster = Cluster(
+            ClusterConfig(n_nodes=4, cores_per_node=2, data_mode=DataMode.REAL)
+        )
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+        run = run_over_parsec(cluster, workload.subroutine, V4, policy=policy)
+        expected = compute_reference(workload)
+        np.testing.assert_allclose(
+            workload.i2.flat_values(), expected, rtol=1e-12, atol=1e-12
+        )
+        assert run.execution_time > 0
+
+    def test_policies_produce_different_schedules(self):
+        def time_for(policy):
+            cluster = Cluster(
+                ClusterConfig(n_nodes=4, cores_per_node=2, data_mode=DataMode.SYNTH)
+            )
+            ga = GlobalArrays(cluster)
+            workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+            return run_over_parsec(
+                cluster, workload.subroutine, V4, policy=policy
+            ).execution_time
+
+        times = {policy: time_for(policy) for policy in SchedulerPolicy}
+        # at least two disciplines must schedule observably differently
+        assert len(set(times.values())) >= 2
+
+    def test_default_policy_is_priority(self):
+        from repro.parsec.runtime import ParsecRuntime
+
+        cluster = Cluster(ClusterConfig(n_nodes=1))
+        assert ParsecRuntime(cluster).policy is SchedulerPolicy.PRIORITY

@@ -1,0 +1,309 @@
+"""Unit tests for the DES kernel: events, timeouts, processes, combinators."""
+
+import pytest
+
+from repro.sim.engine import Engine, all_of, any_of
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_schedule_runs_in_time_order(self, engine):
+        order = []
+        engine.schedule(2.0, order.append, "b")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(3.0, order.append, "c")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, engine):
+        order = []
+        for tag in range(5):
+            engine.schedule(1.0, order.append, tag)
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_run_returns_final_time(self, engine):
+        engine.schedule(5.5, lambda: None)
+        assert engine.run() == 5.5
+
+    def test_run_until_stops_early(self, engine):
+        fired = []
+        engine.schedule(10.0, fired.append, True)
+        assert engine.run(until=4.0) == 4.0
+        assert fired == []
+        # remaining event still fires on a later run
+        engine.run()
+        assert fired == [True]
+
+    def test_run_until_advances_clock_past_empty_heap(self, engine):
+        assert engine.run(until=7.0) == 7.0
+        assert engine.now == 7.0
+
+    def test_cancelled_call_does_not_run(self, engine):
+        fired = []
+        call = engine.schedule(1.0, fired.append, 1)
+        call.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_peek_skips_cancelled(self, engine):
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        first.cancel()
+        assert engine.peek() == 2.0
+
+
+class TestSimEvent:
+    def test_succeed_delivers_value(self, engine):
+        event = engine.event()
+        got = []
+        event._wait(lambda ev: got.append(ev.value))
+        event.succeed(42)
+        engine.run()
+        assert got == [42]
+
+    def test_late_waiter_still_fires(self, engine):
+        event = engine.event()
+        event.succeed("x")
+        got = []
+        event._wait(lambda ev: got.append(ev.value))
+        engine.run()
+        assert got == ["x"]
+
+    def test_double_trigger_rejected(self, engine):
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(ValueError("x"))
+
+    def test_fail_requires_exception(self, engine):
+        with pytest.raises(SimulationError):
+            engine.event().fail("not an exception")
+
+    def test_state_flags(self, engine):
+        event = engine.event()
+        assert not event.triggered and not event.ok and not event.failed
+        event.succeed(1)
+        assert event.triggered and event.ok and not event.failed
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, engine):
+        times = []
+        timeout = engine.timeout(3.0)
+        timeout._wait(lambda ev: times.append(engine.now))
+        engine.run()
+        assert times == [3.0]
+
+    def test_timeout_value_passthrough(self, engine):
+        timeout = engine.timeout(1.0, value="payload")
+        got = []
+        timeout._wait(lambda ev: got.append(ev.value))
+        engine.run()
+        assert got == ["payload"]
+
+    def test_negative_timeout_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.timeout(-1.0)
+
+
+class TestProcess:
+    def test_simple_sequence(self, engine):
+        log = []
+
+        def worker():
+            log.append(("start", engine.now))
+            yield engine.timeout(2.0)
+            log.append(("mid", engine.now))
+            yield engine.timeout(3.0)
+            log.append(("end", engine.now))
+
+        engine.process(worker())
+        engine.run()
+        assert log == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_return_value_on_completion(self, engine):
+        def worker():
+            yield engine.timeout(1.0)
+            return "done"
+
+        proc = engine.process(worker())
+        results = []
+        proc.completion._wait(lambda ev: results.append(ev.value))
+        engine.run()
+        assert results == ["done"]
+        assert not proc.alive
+
+    def test_process_joins_process(self, engine):
+        def child():
+            yield engine.timeout(4.0)
+            return 99
+
+        def parent():
+            value = yield engine.process(child())
+            assert engine.now == 4.0
+            return value
+
+        proc = engine.process(parent())
+        engine.run()
+        assert proc.completion.value == 99
+
+    def test_yield_from_subgenerator(self, engine):
+        def helper():
+            yield engine.timeout(1.0)
+            yield engine.timeout(1.0)
+            return "sub"
+
+        def worker():
+            value = yield from helper()
+            return value
+
+        proc = engine.process(worker())
+        engine.run()
+        assert proc.completion.value == "sub"
+        assert engine.now == 2.0
+
+    def test_unhandled_exception_propagates_from_run(self, engine):
+        def worker():
+            yield engine.timeout(1.0)
+            raise RuntimeError("boom")
+
+        engine.process(worker())
+        with pytest.raises(SimulationError, match="unhandled exception"):
+            engine.run()
+
+    def test_failed_event_thrown_into_process(self, engine):
+        event = engine.event()
+        caught = []
+
+        def worker():
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        engine.process(worker())
+        engine.schedule(1.0, event.fail, ValueError("injected"))
+        engine.run()
+        assert caught == ["injected"]
+
+    def test_waited_process_failure_propagates_to_waiter(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            raise KeyError("inner")
+
+        def parent():
+            try:
+                yield engine.process(child())
+            except KeyError:
+                return "caught"
+
+        proc = engine.process(parent())
+        engine.run()
+        assert proc.completion.value == "caught"
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(SimulationError, match="generator"):
+            engine.process(lambda: None)
+
+    def test_yield_non_waitable_rejected(self, engine):
+        def worker():
+            yield 42
+
+        engine.process(worker())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self, engine):
+        t1 = engine.timeout(3.0, value="late")
+        t2 = engine.timeout(1.0, value="early")
+        results = []
+
+        def worker():
+            values = yield all_of(engine, [t1, t2])
+            results.append((engine.now, values))
+
+        engine.process(worker())
+        engine.run()
+        assert results == [(3.0, ["late", "early"])]
+
+    def test_all_of_empty_fires_immediately(self, engine):
+        combined = all_of(engine, [])
+        assert combined.triggered and combined.value == []
+
+    def test_all_of_fails_on_first_failure(self, engine):
+        good = engine.timeout(5.0)
+        bad = engine.event()
+        engine.schedule(1.0, bad.fail, RuntimeError("nope"))
+        caught = []
+
+        def worker():
+            try:
+                yield all_of(engine, [good, bad])
+            except RuntimeError as exc:
+                caught.append((engine.now, str(exc)))
+
+        engine.process(worker())
+        engine.run()
+        assert caught == [(1.0, "nope")]
+
+    def test_any_of_returns_winner(self, engine):
+        slow = engine.timeout(9.0, value="slow")
+        fast = engine.timeout(2.0, value="fast")
+        results = []
+
+        def worker():
+            index, value = yield any_of(engine, [slow, fast])
+            results.append((engine.now, index, value))
+
+        engine.process(worker())
+        engine.run()
+        assert results == [(2.0, 1, "fast")]
+
+    def test_any_of_empty_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            any_of(engine, [])
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_schedules(self):
+        def build_and_run():
+            engine = Engine()
+            log = []
+
+            def worker(tag, delay):
+                for _ in range(3):
+                    yield engine.timeout(delay)
+                    log.append((tag, engine.now))
+
+            for tag in range(4):
+                engine.process(worker(tag, 0.5 + 0.25 * tag))
+            engine.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+    def test_run_not_reentrant(self, engine):
+        def worker():
+            yield engine.timeout(1.0)
+            engine.run()
+
+        engine.process(worker())
+        with pytest.raises(SimulationError):
+            engine.run()

@@ -1,0 +1,207 @@
+"""Unit tests for Store/PriorityStore mailboxes and the SimMutex model."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.mutex import SimMutex
+from repro.sim.queues import PriorityStore, Store
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestStore:
+    def test_put_then_get_fifo(self, engine):
+        store = Store(engine)
+        store.put("a")
+        store.put("b")
+        got = []
+
+        def worker():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        engine.process(worker())
+        engine.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self, engine):
+        store = Store(engine)
+        got = []
+
+        def consumer():
+            got.append(((yield store.get()), engine.now))
+
+        def producer():
+            yield engine.timeout(3.0)
+            store.put("late")
+
+        engine.process(consumer())
+        engine.process(producer())
+        engine.run()
+        assert got == [("late", 3.0)]
+
+    def test_multiple_getters_served_fifo(self, engine):
+        store = Store(engine)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        engine.process(consumer(0))
+        engine.process(consumer(1))
+        engine.schedule(1.0, store.put, "x")
+        engine.schedule(2.0, store.put, "y")
+        engine.run()
+        assert got == [(0, "x"), (1, "y")]
+
+    def test_try_get(self, engine):
+        store = Store(engine)
+        assert store.try_get() == (False, None)
+        store.put(7)
+        assert store.try_get() == (True, 7)
+        assert len(store) == 0
+
+    def test_len_counts_buffered(self, engine):
+        store = Store(engine)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestPriorityStore:
+    def test_highest_priority_first(self, engine):
+        store = PriorityStore(engine)
+        store.put("low", priority=1)
+        store.put("high", priority=10)
+        store.put("mid", priority=5)
+        got = []
+
+        def worker():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        engine.process(worker())
+        engine.run()
+        assert got == ["high", "mid", "low"]
+
+    def test_equal_priority_is_fifo(self, engine):
+        store = PriorityStore(engine)
+        for tag in range(4):
+            store.put(tag, priority=3)
+        got = []
+
+        def worker():
+            for _ in range(4):
+                got.append((yield store.get()))
+
+        engine.process(worker())
+        engine.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_blocking_get_wakes_on_put(self, engine):
+        store = PriorityStore(engine)
+        got = []
+
+        def worker():
+            got.append(((yield store.get()), engine.now))
+
+        engine.process(worker())
+        engine.schedule(2.0, store.put, "item", 9)
+        engine.run()
+        assert got == [("item", 2.0)]
+
+    def test_peek_priority(self, engine):
+        store = PriorityStore(engine)
+        with pytest.raises(IndexError):
+            store.peek_priority()
+        store.put("x", priority=4)
+        assert store.peek_priority() == 4
+
+    def test_try_get_best(self, engine):
+        store = PriorityStore(engine)
+        store.put("a", priority=1)
+        store.put("b", priority=2)
+        assert store.try_get() == (True, "b")
+
+
+class TestSimMutex:
+    def test_mutual_exclusion(self, engine):
+        mutex = SimMutex(engine)
+        active = []
+        max_active = []
+
+        def worker():
+            yield from mutex.lock()
+            active.append(1)
+            max_active.append(len(active))
+            yield engine.timeout(1.0)
+            active.pop()
+            yield from mutex.unlock()
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        assert max(max_active) == 1
+        assert mutex.total_locks == 4
+
+    def test_lock_overhead_charged_per_operation(self, engine):
+        mutex = SimMutex(engine, lock_overhead=0.5, unlock_overhead=0.25)
+        times = []
+
+        def worker():
+            yield from mutex.lock()
+            times.append(("locked", engine.now))
+            yield from mutex.unlock()
+            times.append(("unlocked", engine.now))
+
+        engine.process(worker())
+        engine.run()
+        assert times == [("locked", 0.5), ("unlocked", 0.75)]
+
+    def test_critical_section_helper(self, engine):
+        mutex = SimMutex(engine)
+        spans = []
+
+        def worker(tag):
+            start = engine.now
+            yield from mutex.critical_section(2.0)
+            spans.append((tag, start, engine.now))
+
+        engine.process(worker("a"))
+        engine.process(worker("b"))
+        engine.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 0.0, 4.0)]
+
+    def test_contended_wait_time_accumulates(self, engine):
+        mutex = SimMutex(engine)
+
+        def holder():
+            yield from mutex.lock()
+            yield engine.timeout(5.0)
+            yield from mutex.unlock()
+
+        def contender():
+            yield engine.timeout(1.0)
+            yield from mutex.lock()
+            yield from mutex.unlock()
+
+        engine.process(holder())
+        engine.process(contender())
+        engine.run()
+        assert mutex.contended_wait_time == pytest.approx(4.0)
+
+    def test_locked_flag(self, engine):
+        mutex = SimMutex(engine)
+
+        def worker():
+            yield from mutex.lock()
+            assert mutex.locked
+            yield from mutex.unlock()
+
+        engine.process(worker())
+        engine.run()
+        assert not mutex.locked

@@ -1,0 +1,180 @@
+"""API-surface and miscellaneous coverage tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.executor import run_over_parsec
+from repro.core.variants import V5
+from repro.experiments.fig9 import Fig9Result
+from repro.ga.runtime import GlobalArrays
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceRecorder
+from repro.tce.molecules import tiny_system
+from repro.tce.t2_7 import build_t2_7
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_workflow_via_top_level_names(self):
+        cluster = repro.Cluster(
+            repro.ClusterConfig(n_nodes=4, cores_per_node=2, data_mode=repro.DataMode.REAL)
+        )
+        ga = repro.GlobalArrays(cluster)
+        workload = repro.build_t2_7(cluster, ga, repro.tiny_system().orbital_space())
+        run = repro.run_over_parsec(cluster, workload.subroutine, repro.V5)
+        assert "icsd_t2_7" in run.describe()
+        assert run.execution_time > 0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_paper_variants_exposed(self):
+        assert set(repro.PAPER_VARIANTS) == {"v1", "v2", "v3", "v4", "v5"}
+        assert repro.variant_by_name("v5") is repro.V5
+
+
+class TestNetworkDelivery:
+    def test_on_deliver_callback_path(self):
+        from repro.sim.cost import MachineModel
+
+        engine = Engine()
+        machine = MachineModel()
+        network = Network(engine, machine)
+        trace = TraceRecorder()
+        for node_id in range(2):
+            network.register(Node(engine, node_id, machine, 2, trace))
+        got = []
+        network.send(0, 1, 100.0, "payload", on_deliver=lambda m: got.append(m.payload))
+        engine.run()
+        assert got == ["payload"]
+
+    def test_inbox_and_callback_are_exclusive(self):
+        from repro.sim.cost import MachineModel
+        from repro.util.errors import SimulationError
+
+        engine = Engine()
+        network = Network(engine, MachineModel())
+        network.register(Node(engine, 0, MachineModel(), 1, TraceRecorder()))
+        with pytest.raises(SimulationError):
+            network.send(0, 0, 1.0, None)  # neither given
+        with pytest.raises(SimulationError):
+            network.send(0, 0, 1.0, None, inbox="x", on_deliver=lambda m: None)
+
+
+class TestDescriptions:
+    def test_subroutine_and_run_describe(self):
+        cluster = Cluster(ClusterConfig(n_nodes=2, data_mode=DataMode.SYNTH))
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+        run = run_over_parsec(cluster, workload.subroutine, V5)
+        assert "v5" in run.describe()
+        assert "chains" in workload.subroutine.describe()
+        assert "icsd_t2_7" in run.metadata.describe()
+
+    def test_fig9_chart_and_best(self):
+        times = {
+            "original": {1: 90.0, 7: 28.0, 15: 29.0},
+            "v5": {1: 85.0, 7: 12.0, 15: 8.7},
+        }
+        result = Fig9Result(times, (1, 7, 15), "paper", 32)
+        assert result.best_original() == (7, 28.0)
+        chart = result.chart(width=40, height=10)
+        assert "Figure 9" in chart
+        assert "o=original" in chart
+
+
+class TestTraceRecorderExtras:
+    def test_json_roundtrip_preserves_events(self):
+        from repro.sim.trace import TaskCategory
+
+        trace = TraceRecorder()
+        trace.record(1, 2, TaskCategory.GEMM, "g", 0.5, 1.5, {"x": 1})
+        restored = TraceRecorder.from_json(trace.to_json())
+        assert len(restored) == 1
+        event = restored.events[0]
+        assert event.node == 1 and event.thread == 2
+        assert event.category is TaskCategory.GEMM
+        assert event.meta == {"x": 1}
+
+    def test_invalid_span_rejected(self):
+        from repro.sim.trace import TaskCategory
+
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.record(0, 0, TaskCategory.GEMM, "bad", 2.0, 1.0)
+
+    def test_makespan_and_filters(self):
+        from repro.sim.trace import TaskCategory
+
+        trace = TraceRecorder()
+        trace.record(0, 0, TaskCategory.GEMM, "a", 1.0, 2.0)
+        trace.record(1, 0, TaskCategory.SORT, "b", 3.0, 5.0)
+        assert trace.makespan() == 4.0
+        assert len(trace.filtered(node=1)) == 1
+        assert len(trace.filtered(predicate=lambda e: e.duration > 1.5)) == 1
+        assert trace.threads() == [(0, 0), (1, 0)]
+
+
+class TestIntegrationDriverConfig:
+    def test_driver_honours_legacy_config(self):
+        from repro.core.integration import NwchemDriver
+        from repro.legacy.runtime import LegacyConfig
+
+        cluster = Cluster(
+            ClusterConfig(n_nodes=2, cores_per_node=2, data_mode=DataMode.SYNTH)
+        )
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+        driver = NwchemDriver(
+            cluster,
+            ga,
+            parsec_kernels=set(),  # everything legacy
+            legacy_config=LegacyConfig(use_nxtval=False),
+        )
+        result = driver.run([workload.subroutine])
+        assert result.kernels[0].mode == "legacy"
+        # static mode: no nxtval traffic at all
+        assert cluster.network.messages_sent > 0
+
+    def test_uses_parsec_predicate(self):
+        from repro.core.integration import NwchemDriver
+
+        cluster = Cluster(ClusterConfig(n_nodes=2))
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+        driver_all = NwchemDriver(cluster, ga)
+        driver_none = NwchemDriver(cluster, ga, parsec_kernels=set())
+        assert driver_all.uses_parsec(workload.subroutine)
+        assert not driver_none.uses_parsec(workload.subroutine)
+
+
+class TestOpCostHelpers:
+    def test_wire_time_and_memcpy(self):
+        from repro.sim.cost import MachineModel
+
+        machine = MachineModel(nic_bw_bytes_per_s=1e9)
+        assert machine.wire_time(1e9) == pytest.approx(1.0)
+        assert machine.memcpy(100).bytes == 1600.0
+        assert machine.zero_fill(100).bytes == 800.0
+
+    def test_run_until_idle_equivalence(self):
+        """cluster.run(until=...) past the workload end equals free run."""
+        def final_time(until):
+            cluster = Cluster(ClusterConfig(n_nodes=2, data_mode=DataMode.SYNTH))
+            ga = GlobalArrays(cluster)
+            workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
+            from repro.legacy.runtime import LegacyRuntime
+
+            done, _ = LegacyRuntime(cluster, ga).launch([list(workload.subroutine.chains)])
+            cluster.run(until=until)
+            return done.triggered
+
+        assert final_time(None)
+        assert final_time(1e9)

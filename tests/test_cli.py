@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "icsd_t2_7" in out
+        assert "472 basis functions" in out
+
+    def test_equivalence_tiny(self, capsys):
+        assert main(["equivalence", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement" in out
+        assert "reference" in out
+
+    def test_traces_tiny(self, capsys):
+        assert main(["traces", "--scale", "tiny", "--width", "40", "--rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out and "Figure 11" in out and "Figure 12/13" in out
+        assert "legend:" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--scale", "galactic"])

@@ -1,0 +1,277 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin the invariants the whole reproduction rests on: event
+ordering in the DES kernel, conservation in the processor-sharing
+bandwidth model, queue-discipline correctness, barrier semantics, chain
+IR consistency over arbitrary orbital spaces, inspection-phase
+partitioning, and end-to-end numerical equality between the runtimes on
+randomly generated workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.executor import run_over_parsec
+from repro.core.inspector import _build_reduce_tree, _build_segments, inspect_subroutine
+from repro.core.variants import V1, V5
+from repro.ga.runtime import GlobalArrays
+from repro.ga.sync import Barrier
+from repro.legacy.runtime import LegacyRuntime
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.engine import Engine
+from repro.sim.queues import PriorityStore
+from repro.sim.resources import BandwidthResource
+from repro.tce.orbital_space import OrbitalSpace
+from repro.tce.t2_7 import build_t2_7
+
+slow_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEngineProperties:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, fired.append, delay)
+        engine.run()
+        assert fired == sorted(delays)
+        assert engine.now == max(delays)
+
+    @given(
+        steps=st.lists(
+            st.floats(min_value=0.001, max_value=10), min_size=1, max_size=20
+        ),
+        n_procs=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_process_clock_is_monotone(self, steps, n_procs):
+        engine = Engine()
+        observed = []
+
+        def worker():
+            for step in steps:
+                yield engine.timeout(step)
+                observed.append(engine.now)
+
+        for _ in range(n_procs):
+            engine.process(worker())
+        engine.run()
+        assert observed == sorted(observed)
+        assert engine.now == pytest.approx(sum(steps))
+
+
+class TestBandwidthProperties:
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1000.0),   # size
+                st.floats(min_value=0.0, max_value=50.0),     # arrival
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        capacity=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_processor_sharing_conservation(self, jobs, capacity):
+        engine = Engine()
+        bandwidth = BandwidthResource(engine, capacity=capacity)
+        completions = {}
+
+        def worker(index, size, arrival):
+            yield engine.timeout(arrival)
+            yield bandwidth.transfer(size)
+            completions[index] = engine.now
+
+        for index, (size, arrival) in enumerate(jobs):
+            engine.process(worker(index, size, arrival))
+        engine.run()
+        # every job finishes
+        assert len(completions) == len(jobs)
+        total_work = sum(size for size, _ in jobs)
+        first_arrival = min(arrival for _, arrival in jobs)
+        last_completion = max(completions.values())
+        # the server cannot beat its capacity...
+        assert last_completion >= first_arrival + total_work / capacity - 1e-6
+        # ...and no job beats its own solo service time
+        for index, (size, arrival) in enumerate(jobs):
+            assert completions[index] >= arrival + size / capacity - 1e-9
+
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=10
+        ),
+        cap=st.floats(min_value=0.5, max_value=5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_per_job_cap_bounds_single_job_rate(self, sizes, cap):
+        engine = Engine()
+        bandwidth = BandwidthResource(engine, capacity=1000.0, per_job_cap=cap)
+        completions = []
+
+        def worker(size):
+            yield bandwidth.transfer(size)
+            completions.append((size, engine.now))
+
+        for size in sizes:
+            engine.process(worker(size))
+        engine.run()
+        for size, at in completions:
+            assert at >= size / cap - 1e-9
+
+
+class TestQueueProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(min_value=-100, max_value=100)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_priority_store_pops_in_priority_order(self, ops):
+        engine = Engine()
+        store = PriorityStore(engine)
+        for index, (priority,) in enumerate(ops):
+            store.put((priority, index), priority=priority)
+        popped = []
+        while True:
+            ok, item = store.try_get()
+            if not ok:
+                break
+            popped.append(item)
+        # non-increasing priority; FIFO within equal priorities
+        for (p1, i1), (p2, i2) in zip(popped, popped[1:]):
+            assert p1 > p2 or (p1 == p2 and i1 < i2)
+
+
+class TestBarrierProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=12
+        ),
+        overhead=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_release_time_is_max_arrival(self, delays, overhead):
+        engine = Engine()
+        barrier = Barrier(engine, parties=len(delays), overhead=overhead)
+        releases = []
+
+        def party(delay):
+            yield engine.timeout(delay)
+            yield from barrier.arrive()
+            releases.append(engine.now)
+
+        for delay in delays:
+            engine.process(party(delay))
+        engine.run()
+        expected = max(delays) + overhead
+        assert all(t == pytest.approx(expected) for t in releases)
+
+
+@st.composite
+def orbital_spaces(draw):
+    nocc = draw(st.integers(min_value=2, max_value=12))
+    nvirt = draw(st.integers(min_value=2, max_value=20))
+    tile = draw(st.integers(min_value=2, max_value=6))
+    return OrbitalSpace(nocc, nvirt, tile)
+
+
+class TestChainIrProperties:
+    @given(space=orbital_spaces(), seed=st.integers(min_value=0, max_value=10))
+    @slow_settings
+    def test_chain_invariants_over_random_spaces(self, space, seed):
+        cluster = Cluster(ClusterConfig(n_nodes=3, data_mode=DataMode.SYNTH))
+        ga = GlobalArrays(cluster)
+        workload = build_t2_7(cluster, ga, space, seed=seed)
+        for chain in workload.subroutine.chains:
+            # the output tile is exactly the m x n chain result
+            assert chain.m * chain.n == chain.c_size
+            for sw in chain.active_sorts:
+                assert sw.target.size == chain.c_size
+            # all active sorts target the same block
+            targets = {(sw.target.lo, sw.target.hi) for sw in chain.active_sorts}
+            assert len(targets) == 1
+            # GEMM operand shapes agree with the chain
+            for gemm in chain.gemms:
+                assert gemm.m == chain.m and gemm.n == chain.n
+                assert gemm.a.size == gemm.k * gemm.m
+                assert gemm.b.size == gemm.k * gemm.n
+
+    @given(
+        n_gemms=st.integers(min_value=1, max_value=40),
+        height=st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segments_partition_positions(self, n_gemms, height):
+        segments = _build_segments(n_gemms, height)
+        cursor = 0
+        for segment in segments:
+            assert segment.start == cursor
+            assert segment.length >= 1
+            if height is not None:
+                assert segment.length <= height
+            cursor += segment.length
+        assert cursor == n_gemms
+
+    @given(n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_reduce_tree_consumes_every_source_once(self, n):
+        reduces, consumer = _build_reduce_tree(n)
+        if n == 1:
+            assert reduces == []
+            return
+        assert len(reduces) == n - 1
+        assert sum(r.is_root for r in reduces) == 1
+        # every non-root output and every segment appears exactly once
+        # as a source
+        sources = [r.left for r in reduces] + [r.right for r in reduces]
+        assert sorted(s for s in sources if s[0] == "seg") == [
+            ("seg", i) for i in range(n)
+        ]
+
+
+class TestEndToEndProperties:
+    @given(space=orbital_spaces(), seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_v1_bitwise_equals_legacy_on_random_workloads(self, space, seed):
+        def run(kind):
+            cluster = Cluster(
+                ClusterConfig(n_nodes=3, cores_per_node=2, data_mode=DataMode.REAL)
+            )
+            ga = GlobalArrays(cluster)
+            workload = build_t2_7(cluster, ga, space, seed=seed)
+            if kind == "legacy":
+                LegacyRuntime(cluster, ga).execute_subroutine(workload.subroutine)
+            else:
+                run_over_parsec(cluster, workload.subroutine, V1)
+            return workload.i2.flat_values()
+
+        np.testing.assert_array_equal(run("legacy"), run("v1"))
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_v5_matches_legacy_to_14_digits_any_seed(self, seed):
+        space = OrbitalSpace(6, 10, 3)
+
+        def run(kind):
+            cluster = Cluster(
+                ClusterConfig(n_nodes=3, cores_per_node=2, data_mode=DataMode.REAL)
+            )
+            ga = GlobalArrays(cluster)
+            workload = build_t2_7(cluster, ga, space, seed=seed)
+            if kind == "legacy":
+                LegacyRuntime(cluster, ga).execute_subroutine(workload.subroutine)
+            else:
+                run_over_parsec(cluster, workload.subroutine, V5)
+            return workload.i2.flat_values()
+
+        np.testing.assert_allclose(run("legacy"), run("v5"), rtol=1e-12, atol=1e-12)
