@@ -6,6 +6,7 @@ Subcommands regenerate the paper's artifacts without pytest:
 - ``traces``      Figures 10/11 and 12/13 with ASCII Gantt charts
 - ``equivalence`` the Section IV-A 14-digit agreement check
 - ``ablations``   the design-decision sweeps
+- ``chaos``       fault-injection sweep: bitwise recovery check
 - ``info``        workload/scale/machine summary
 """
 
@@ -139,6 +140,43 @@ def cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.experiments.chaos import run_chaos
+
+    result = run_chaos(
+        scale=args.scale,
+        n_nodes=args.nodes,
+        cores_per_node=args.cores,
+        fault_seed=args.fault_seed,
+    )
+    print(f"fault plan: {result.plan_description}\n")
+    rows = []
+    for o in result.outcomes:
+        nonzero = {k: v for k, v in o.counters.items() if v and k != "recovery_overhead_s"}
+        rows.append(
+            [
+                o.name,
+                "PASS" if o.bitwise_match else "FAIL",
+                "PASS" if o.deterministic else "FAIL",
+                "yes" if o.faults_recovered else "NO",
+                f"{o.end_time_clean:.4f}",
+                f"{o.end_time_faulted:.4f}",
+                " ".join(f"{k}={v}" for k, v in sorted(nonzero.items())),
+            ]
+        )
+    print(
+        format_table(
+            ["runner", "bitwise", "determ.", "faults", "clean (s)", "faulted (s)", "recovery counters"],
+            rows,
+            title="Chaos sweep: recovery under injected faults",
+        )
+    )
+    print()
+    print("ALL OK" if result.all_ok else "FAILURES DETECTED")
+    return 0 if result.all_ok else 1
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.experiments.calibration import PAPER_MACHINE, make_cluster, make_workload
     from repro.tce.molecules import SCALE_PRESETS
@@ -180,6 +218,15 @@ def main(argv: list[str] | None = None) -> int:
     p = subparsers.add_parser("ablations", help="design-decision sweeps")
     _add_scale(p)
     p.set_defaults(func=cmd_ablations)
+
+    p = subparsers.add_parser("chaos", help="fault-injection recovery sweep")
+    _add_scale(p, default="tiny")
+    p.add_argument("--nodes", type=int, default=4, help="nodes in the allocation")
+    p.add_argument("--cores", type=int, default=2, help="compute cores per node")
+    p.add_argument(
+        "--fault-seed", type=int, default=2025, help="master seed of the fault plan"
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = subparsers.add_parser("info", help="workload and machine summary")
     _add_scale(p, default="paper")

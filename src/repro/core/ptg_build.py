@@ -141,13 +141,24 @@ def _make_write_run(seg_index_of_params):
         pieces = ctx.inputs["S"]
         if not isinstance(pieces, list):
             pieces = [pieces]
+        tags = ctx.task.input_tag_list("S")
         mutex = ctx.node.mutex("write_c")
         yield from mutex.lock()
         try:
-            for piece in pieces:
+            for _ in pieces:
                 yield from ctx.charge(ctx.machine.axpy(seg.size))
-                if ctx.real:
-                    ctx.md.i2_array.accumulate_range_direct(seg.lo, seg.hi, piece)
+            # Commit point: every irreversible accumulate publishes in
+            # this one synchronous step. A crash either aborts a clean
+            # body (before the commit) or lets a fully-published task
+            # run to completion (after) — never halfway. The tags
+            # (task key + producer key) give each contribution a stable
+            # identity for ordered, exactly-once accumulation.
+            ctx.commit()
+            if ctx.real:
+                for piece, tag in zip(pieces, tags):
+                    ctx.md.i2_array.accumulate_range_direct(
+                        seg.lo, seg.hi, piece, tag=(ctx.task.key, tag)
+                    )
         finally:
             yield from mutex.unlock()
 

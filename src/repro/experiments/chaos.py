@@ -1,0 +1,169 @@
+"""Chaos testing: every runtime under a seeded fault plan.
+
+Runs the legacy runtime and all five PaRSEC variants three times each:
+once fault-free (the reference), then twice under the same seeded
+:class:`~repro.sim.faults.FaultPlan` injecting at least one of each
+fault class — transient task failures, message drop/delay/duplication,
+a straggler window, and a whole-node crash. Each runner must
+
+- complete despite the faults (recovery machinery working),
+- produce a tensor **bitwise identical** to its fault-free reference
+  (exactly-once arithmetic via ordered accumulation),
+- report nonzero recovery counters (the faults actually fired), and
+- give identical virtual end times across the two faulted runs
+  (fault injection and recovery are fully deterministic).
+
+Bitwise equivalence is only meaningful with a canonical accumulation
+order, so every run — including the reference — enables the i2 array's
+ordered-accumulation mode; the fault-free timeline is otherwise
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.executor import run_over_parsec
+from repro.core.variants import PAPER_VARIANTS, variant_by_name
+from repro.experiments.calibration import make_cluster, make_workload
+from repro.legacy.runtime import LegacyRuntime
+from repro.sim.cluster import DataMode
+from repro.sim.faults import FaultPlan, NodeCrash, Straggler
+from repro.util.rng import derive_seed
+
+__all__ = ["ChaosOutcome", "ChaosResult", "default_plan", "run_chaos"]
+
+
+@dataclass
+class ChaosOutcome:
+    """One runner's behaviour under the fault plan."""
+
+    name: str
+    #: faulted output == fault-free output, bit for bit
+    bitwise_match: bool
+    #: the two same-seed faulted runs agreed (values and end time)
+    deterministic: bool
+    #: at least one recovery counter is nonzero
+    faults_recovered: bool
+    end_time_clean: float
+    end_time_faulted: float
+    #: full fault/recovery counter set (FaultReport fields)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.bitwise_match and self.deterministic and self.faults_recovered
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of the whole sweep plus the plan that produced it."""
+
+    plan_description: str
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+
+def default_plan(master_seed: int, horizon_s: float, n_nodes: int) -> FaultPlan:
+    """A plan exercising every fault class within ``horizon_s``.
+
+    The straggler window and the crash instant are placed relative to
+    the runner's fault-free execution time so the faults land while
+    work is actually in flight; the afflicted nodes are derived from
+    the master seed. With fewer than two nodes the crash is dropped —
+    there would be no survivor to recover onto.
+    """
+    crash_node = derive_seed(master_seed, "chaos:crash-node") % n_nodes
+    slow_node = derive_seed(master_seed, "chaos:slow-node") % n_nodes
+    crashes = ()
+    if n_nodes >= 2:
+        crashes = (NodeCrash(node=crash_node, at=0.45 * horizon_s),)
+    return FaultPlan(
+        master_seed=master_seed,
+        task_fail_prob=0.05,
+        max_task_retries=3,
+        drop_prob=0.04,
+        delay_prob=0.04,
+        dup_prob=0.03,
+        stragglers=(
+            Straggler(
+                node=slow_node,
+                t_start=0.2 * horizon_s,
+                t_end=0.7 * horizon_s,
+                factor=2.5,
+            ),
+        ),
+        crashes=crashes,
+    )
+
+
+def run_chaos(
+    scale: str = "tiny",
+    n_nodes: int = 4,
+    cores_per_node: int = 2,
+    seed: int = 7,
+    fault_seed: int = 2025,
+) -> ChaosResult:
+    """The full chaos sweep: legacy plus the five PaRSEC variants."""
+    runners = [("original", None)] + [
+        (name, variant_by_name(name)) for name in sorted(PAPER_VARIANTS)
+    ]
+    result = ChaosResult(plan_description="")
+
+    def execute(name, variant, plan):
+        """One run; returns (i2 values, end time, counter dict)."""
+        cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
+        workload = make_workload(cluster, scale=scale, seed=seed)
+        workload.i2.array.enable_ordered_accumulation()
+        if plan is not None:
+            cluster.install_faults(plan)
+        if variant is None:
+            LegacyRuntime(cluster, workload.ga).execute_subroutine(workload.subroutine)
+        else:
+            run_over_parsec(cluster, workload.subroutine, variant)
+        counters = asdict(cluster.faults.report) if cluster.faults else {}
+        return workload.i2.flat_values(), cluster.engine.now, counters
+
+    for name, variant in runners:
+        reference, horizon, _ = execute(name, variant, None)
+        plan = default_plan(fault_seed, horizon, n_nodes)
+        if not result.plan_description:
+            result.plan_description = plan.describe()
+        values_a, end_a, counters_a = execute(name, variant, plan)
+        values_b, end_b, counters_b = execute(name, variant, plan)
+        recovered = any(
+            counters_a.get(k, 0) > 0
+            for k in (
+                "task_retries",
+                "retransmits",
+                "tasks_recomputed",
+                "tasks_reassigned",
+                "tickets_reissued",
+                "chains_recovered",
+                "nodes_crashed",
+            )
+        )
+        result.outcomes.append(
+            ChaosOutcome(
+                name=name,
+                bitwise_match=bool(
+                    np.array_equal(values_a, reference)
+                    and np.array_equal(values_b, reference)
+                ),
+                deterministic=bool(
+                    end_a == end_b
+                    and counters_a == counters_b
+                    and np.array_equal(values_a, values_b)
+                ),
+                faults_recovered=recovered,
+                end_time_clean=horizon,
+                end_time_faulted=end_a,
+                counters=counters_a,
+            )
+        )
+    return result

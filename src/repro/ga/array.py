@@ -42,6 +42,13 @@ class GlobalArray:
         self.distribution = distribution
         self.data_mode = data_mode
         self._destroyed = False
+        # Ordered-accumulation mode (see enable_ordered_accumulation):
+        # tagged contributions are logged here keyed by
+        # (repr(tag), lo, hi) and applied in sorted-key order at the
+        # next read. The dict keying also makes re-delivery of the same
+        # contribution (task re-execution after a fault) idempotent.
+        self._ordered = False
+        self._pending: dict = {}
         if data_mode is DataMode.REAL:
             self._segments: Optional[list[np.ndarray]] = [
                 np.zeros(distribution.node_range(node)[1] - distribution.node_range(node)[0])
@@ -96,15 +103,26 @@ class GlobalArray:
         self._check_live()
         if self._segments is None:
             return None
+        self.flush_accumulations()
         return self.ga_access(segment.node, segment.lo, segment.hi).copy()
 
-    def accumulate_segment(self, segment: Segment, data: Optional[np.ndarray]) -> None:
-        """In-place add of ``data`` into one owner segment (handler-side)."""
+    def accumulate_segment(
+        self, segment: Segment, data: Optional[np.ndarray], tag=None
+    ) -> None:
+        """In-place add of ``data`` into one owner segment (handler-side).
+
+        With ordered accumulation enabled and a ``tag`` given, the
+        contribution is logged instead of applied; see
+        :meth:`enable_ordered_accumulation`.
+        """
         self._check_live()
         if self._segments is None:
             return
         if data is None:
             raise GlobalArrayError("REAL-mode accumulate received no data")
+        if self._ordered and tag is not None:
+            self._log(tag, segment.lo, segment.hi, data)
+            return
         view = self.ga_access(segment.node, segment.lo, segment.hi)
         view += data
 
@@ -124,6 +142,7 @@ class GlobalArray:
             return None
         if not (0 <= lo <= hi <= self.total):
             raise GlobalArrayError(f"range [{lo}, {hi}) out of bounds {self.total}")
+        self.flush_accumulations()
         out = np.empty(hi - lo)
         for segment in self.distribution.segments(lo, hi):
             node_lo, _ = self.distribution.node_range(segment.node)
@@ -134,13 +153,16 @@ class GlobalArray:
         return out
 
     def accumulate_range_direct(
-        self, lo: int, hi: int, data: Optional[np.ndarray]
+        self, lo: int, hi: int, data: Optional[np.ndarray], tag=None
     ) -> None:
         """In-place ``array[lo:hi] += data`` across owners, uncosted.
 
         Used by PaRSEC WRITE_C task bodies, which run on the owner node
         under the node's write mutex; the memory traffic and mutex costs
-        are charged by the task body. No-op in SYNTH mode.
+        are charged by the task body. No-op in SYNTH mode. With ordered
+        accumulation enabled and a ``tag`` given, the contribution is
+        logged instead of applied (see
+        :meth:`enable_ordered_accumulation`).
         """
         self._check_live()
         if self._segments is None:
@@ -151,12 +173,53 @@ class GlobalArray:
             raise GlobalArrayError(f"range [{lo}, {hi}) out of bounds {self.total}")
         if data.shape != (hi - lo,):
             raise GlobalArrayError(f"data shape {data.shape} != ({hi - lo},)")
+        if self._ordered and tag is not None:
+            self._log(tag, lo, hi, data)
+            return
+        self._apply_range(lo, hi, data)
+
+    def _apply_range(self, lo: int, hi: int, data: np.ndarray) -> None:
+        """Raw ``+=`` of a range across owner segments."""
         for segment in self.distribution.segments(lo, hi):
             node_lo, _ = self.distribution.node_range(segment.node)
             local = self._segments[segment.node]
             local[segment.lo - node_lo : segment.hi - node_lo] += data[
                 segment.lo - lo : segment.hi - lo
             ]
+
+    # ------------------------------------------------------------------
+    # ordered accumulation (bitwise-reproducible mode)
+    # ------------------------------------------------------------------
+    def enable_ordered_accumulation(self) -> None:
+        """Make tagged accumulates apply in a canonical order.
+
+        Floating-point addition does not commute bitwise, so when
+        overlapping accumulates race (which faults and scheduling both
+        reorder), the result differs in the last bits from run to run.
+        In ordered mode every *tagged* accumulate is logged under
+        ``(repr(tag), lo, hi)`` and the log is applied in sorted-key
+        order the next time the array is read — the same total order in
+        every run, independent of delivery order. The dict log also
+        deduplicates: re-executing a recovered task re-logs the same key
+        rather than double-adding, giving exactly-once arithmetic.
+
+        Untagged accumulates still apply immediately, so callers that
+        never pass tags are unaffected. Timing is unchanged either way —
+        these methods were never cost-modeled.
+        """
+        self._ordered = True
+
+    def _log(self, tag, lo: int, hi: int, data: np.ndarray) -> None:
+        self._pending[(repr(tag), lo, hi)] = np.array(data, copy=True)
+
+    def flush_accumulations(self) -> None:
+        """Apply the ordered-accumulation log in canonical key order."""
+        if not self._pending:
+            return
+        for key in sorted(self._pending):
+            _, lo, hi = key
+            self._apply_range(lo, hi, self._pending[key])
+        self._pending.clear()
 
     # ------------------------------------------------------------------
     # whole-array conveniences (test/setup only — not cost-modeled)
@@ -166,6 +229,7 @@ class GlobalArray:
         self._check_live()
         if self._segments is None:
             raise GlobalArrayError("gather() is unavailable in SYNTH data mode")
+        self.flush_accumulations()
         return np.concatenate([seg for seg in self._segments]) if self.total else np.zeros(0)
 
     def scatter(self, values: np.ndarray) -> None:

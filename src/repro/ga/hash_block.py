@@ -51,10 +51,14 @@ def add_hash_block(
     hi: int,
     data: Optional[np.ndarray],
     label: str = "",
+    tag=None,
 ):
-    """Generator helper: blocking atomic accumulate, traced as a write."""
+    """Generator helper: blocking atomic accumulate, traced as a write.
+
+    ``tag`` identifies the logical contribution for the array's
+    ordered-accumulation mode (bitwise-reproducible runs)."""
     t_start = ga.engine.now
-    yield from ga.accumulate(node.node_id, array, lo, hi, data)
+    yield from ga.accumulate(node.node_id, array, lo, hi, data, tag=tag)
     node.trace.record(
         node.node_id,
         thread,

@@ -12,6 +12,7 @@ with static round-robin distribution in the PaRSEC version.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 
 from repro.sim.engine import SimEvent
 
@@ -38,7 +39,11 @@ class NxtvalServer:
         self.home_node = home_node
         self.inbox_name = f"ga.nxtval#{next(_instance_ids)}"
         self._counter = 0
+        #: tickets handed back by crash recovery, served before fresh
+        #: counter values so orphaned work units are re-claimed
+        self._reissued: deque[int] = deque()
         self.total_requests = 0
+        self.tickets_reissued = 0
         self.engine.process(
             self._serve(ga_runtime.cluster.nodes[home_node]),
             name=f"nxtval.server:{self.inbox_name}",
@@ -47,6 +52,18 @@ class NxtvalServer:
     def reset(self) -> None:
         """Restart the ticket sequence (the original code does this per level)."""
         self._counter = 0
+        self._reissued.clear()
+
+    def reissue(self, ticket: int) -> None:
+        """Hand a ticket back to the pool (crash recovery).
+
+        A rank that died after claiming ``ticket`` but before completing
+        (committing) the corresponding work unit returns it here; the
+        server serves reissued tickets before fresh counter values, so a
+        survivor picks the orphan up on its next NXTVAL call.
+        """
+        self._reissued.append(ticket)
+        self.tickets_reissued += 1
 
     @property
     def value(self) -> int:
@@ -78,8 +95,11 @@ class NxtvalServer:
         while True:
             message = yield inbox.get()
             yield self.engine.timeout(self.machine.nxtval_service_s)
-            ticket = self._counter
-            self._counter += 1
+            if self._reissued:
+                ticket = self._reissued.popleft()
+            else:
+                ticket = self._counter
+                self._counter += 1
             self.ga.cluster.network.send(
                 node.node_id,
                 message.src,

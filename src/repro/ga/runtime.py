@@ -36,7 +36,7 @@ _CTRL_BYTES = 64.0
 class _Request:
     """One segment-granular request sitting in a handler inbox."""
 
-    __slots__ = ("kind", "array", "segment", "data", "requester", "reply_event")
+    __slots__ = ("kind", "array", "segment", "data", "requester", "reply_event", "tag")
 
     def __init__(
         self,
@@ -46,6 +46,7 @@ class _Request:
         data: Optional[np.ndarray],
         requester: int,
         reply_event: SimEvent,
+        tag=None,
     ) -> None:
         self.kind = kind
         self.array = array
@@ -53,6 +54,7 @@ class _Request:
         self.data = data
         self.requester = requester
         self.reply_event = reply_event
+        self.tag = tag
 
 
 class GlobalArrays:
@@ -149,11 +151,14 @@ class GlobalArrays:
         lo: int,
         hi: int,
         data: Optional[np.ndarray],
+        tag=None,
     ):
         """Blocking one-sided accumulate: ``array[lo:hi] += data``.
 
         Atomic per element — the owner's FIFO handler serializes
         concurrent accumulates into the same node. Waits for all acks.
+        ``tag`` (an identity for this logical contribution) is forwarded
+        to the array for ordered-accumulation mode.
         """
         array._check_live()
         if self.cluster.data_mode is DataMode.REAL:
@@ -176,7 +181,7 @@ class GlobalArrays:
             chunk = None
             if data is not None:
                 chunk = data[segment.lo - lo : segment.hi - lo]
-            request = _Request("acc", array, segment, chunk, requester, event)
+            request = _Request("acc", array, segment, chunk, requester, event, tag=tag)
             self.cluster.network.send(
                 requester,
                 segment.node,
@@ -225,7 +230,7 @@ class GlobalArrays:
                 if seg_bytes > 0:
                     # read target, read incoming, write target
                     yield node.membw.transfer(3.0 * seg_bytes)
-                request.array.accumulate_segment(segment, request.data)
+                request.array.accumulate_segment(segment, request.data, tag=request.tag)
                 self.cluster.network.send(
                     node.node_id,
                     request.requester,

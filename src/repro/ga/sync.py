@@ -31,6 +31,24 @@ class Barrier:
         """Parties already waiting at the current generation."""
         return len(self._waiting)
 
+    def withdraw(self, n: int = 1) -> None:
+        """Permanently remove ``n`` parties (a rank died).
+
+        Takes effect immediately: if everyone still alive is already
+        waiting, the current generation releases now instead of hanging
+        on arrivals that can never come.
+        """
+        if n < 0 or n >= self.parties:
+            raise SimulationError(
+                f"cannot withdraw {n} of {self.parties} barrier parties"
+            )
+        self.parties -= n
+        if self._waiting and len(self._waiting) >= self.parties:
+            waiting, self._waiting = self._waiting, []
+            self.generation += 1
+            for waiter in waiting:
+                waiter.succeed(self.generation)
+
     def arrive(self):
         """Generator helper: block until all parties have arrived.
 

@@ -30,8 +30,15 @@ from repro.tce.subroutine import ChainSpec
 __all__ = ["execute_chain"]
 
 
-def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec):
-    """Generator helper: run one chain to completion on one rank."""
+def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=None):
+    """Generator helper: run one chain to completion on one rank.
+
+    ``on_commit``, if given, is invoked synchronously right before the
+    publication phase (the SORT_4 / ADD_HASH_BLOCK loop) begins. Up to
+    that point the chain has only read shared data and touched private
+    buffers, so an aborted attempt leaves no trace and the chain can be
+    re-executed wholesale; past it the chain must run to completion.
+    """
     machine = cluster.machine
     real = cluster.data_mode.value == "real"
     label = f"c{chain.chain_id}"
@@ -82,6 +89,8 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec):
             C += a.T @ b  # dgemm('T', 'N', ...)
 
     tile = C.reshape(chain.tile_shape) if real else None
+    if on_commit is not None:
+        on_commit()
     for sw in chain.active_sorts:
         yield from node.execute(
             thread,
@@ -103,6 +112,7 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec):
             sw.target.hi,
             sorted_flat,
             label=f"ADD_HASH_BLOCK:{label}.{sw.sort_index}",
+            tag=(chain.chain_id, sw.sort_index),
         )
 
     # MA_POP_STACK

@@ -9,6 +9,16 @@ a unit of work of one whole chain (Section III-A / IV-D).
 A ``use_nxtval=False`` configuration swaps in a static rank-cyclic chain
 assignment, which the load-balancing ablation benchmark uses to isolate
 the cost/benefit of the shared counter.
+
+Fault tolerance: under an installed :class:`~repro.sim.faults.FaultPlan`
+the NXTVAL counter doubles as the recovery mechanism — exactly what
+makes work stealing robust. A rank that dies mid-chain hands its
+claimed-but-uncommitted ticket back to the counter
+(:meth:`~repro.ga.nxtval.NxtvalServer.reissue`), spawns a recovery
+claim-loop on a surviving node so the orphan is re-claimed even if all
+survivors have already left the claim phase, then withdraws from the
+level barrier so the remaining ranks are not held hostage. Static
+assignment has no such channel, so crash plans require ``use_nxtval``.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from repro.ga.nxtval import NxtvalServer
 from repro.ga.sync import Barrier
 from repro.legacy.chain_exec import execute_chain
 from repro.sim.cluster import Cluster
+from repro.sim.faults import killable
 from repro.sim.trace import TaskCategory
 from repro.tce.subroutine import ChainSpec, Subroutine
 from repro.util.errors import ConfigurationError
@@ -49,6 +60,12 @@ class LegacyResult:
     nxtval_requests: int
     #: chains executed per rank, keyed by (node, thread) — load balance data
     chains_per_rank: dict = field(default_factory=dict)
+    # recovery counters (nonzero only under an installed FaultPlan)
+    task_retries: int = 0
+    chains_recovered: int = 0
+    tickets_reissued: int = 0
+    ranks_lost: int = 0
+    recovery_overhead_s: float = 0.0
 
 
 class LegacyRuntime:
@@ -74,6 +91,16 @@ class LegacyRuntime:
         if not levels:
             raise ConfigurationError("need at least one work level")
         cluster = self.cluster
+        if (
+            cluster.faults is not None
+            and cluster.faults.plan.crashes
+            and not self.config.use_nxtval
+        ):
+            raise ConfigurationError(
+                "node-crash fault plans require use_nxtval=True: static "
+                "chain assignment has no channel to re-claim a dead "
+                "rank's work"
+            )
         engine = cluster.engine
         machine = cluster.machine
         ranks = [
@@ -120,10 +147,19 @@ class LegacyRuntime:
         parallel execution at any time is a subset of the total".
         """
         start_time = self.cluster.engine.now
+        faults = self.cluster.faults
+        before = faults.report.snapshot() if faults is not None else None
         done, result = self.launch(levels)
         result.execution_time = self.cluster.run() - start_time
         if not done.triggered:
             raise ConfigurationError("legacy execution stalled before completing")
+        if faults is not None:
+            delta = faults.report.delta(before)
+            result.task_retries = delta.task_retries
+            result.chains_recovered = delta.chains_recovered
+            result.tickets_reissued = delta.tickets_reissued
+            result.ranks_lost = delta.ranks_lost
+            result.recovery_overhead_s = delta.recovery_overhead_s
         return result
 
     # ------------------------------------------------------------------
@@ -132,32 +168,26 @@ class LegacyRuntime:
         result.chains_per_rank.setdefault(key, 0)
         n_ranks = barrier.parties
         for level_chains, counter in zip(levels, counters):
+            if not node.alive:
+                # this rank's compute died between levels
+                yield from self._rank_died(
+                    node, level_chains, counter, result, None, barrier
+                )
+                return
             if self.config.use_nxtval:
-                while True:
-                    t_start = self.cluster.engine.now
-                    ticket = yield from counter.next(node.node_id)
-                    node.trace.record(
-                        node.node_id,
-                        thread,
-                        TaskCategory.NXTVAL,
-                        f"NXTVAL#{ticket}",
-                        t_start,
-                        self.cluster.engine.now,
+                survived, lost_ticket = yield from self._claim_loop(
+                    node, thread, level_chains, counter, result, key
+                )
+                if not survived:
+                    yield from self._rank_died(
+                        node, level_chains, counter, result, lost_ticket, barrier
                     )
-                    if ticket >= len(level_chains):
-                        break
-                    yield from execute_chain(
-                        self.cluster, self.ga, node, thread, level_chains[ticket]
-                    )
-                    result.chains_executed += 1
-                    result.chains_per_rank[key] += 1
+                    return
             else:
                 for index in range(rank_id, len(level_chains), n_ranks):
-                    yield from execute_chain(
-                        self.cluster, self.ga, node, thread, level_chains[index]
+                    yield from self._run_chain(
+                        node, thread, level_chains[index], result, key
                     )
-                    result.chains_executed += 1
-                    result.chains_per_rank[key] += 1
             t_start = self.cluster.engine.now
             yield from barrier.arrive()
             node.trace.record(
@@ -168,3 +198,123 @@ class LegacyRuntime:
                 t_start,
                 self.cluster.engine.now,
             )
+
+    def _claim_loop(
+        self, node, thread, level_chains, counter, result, key, recovering=False
+    ):
+        """NXTVAL claim loop for one level on one rank.
+
+        Returns ``(survived, lost_ticket)``: ``survived`` is False when
+        the rank's node died during the loop, and ``lost_ticket`` is the
+        ticket it had claimed but not committed (None if none was lost —
+        an in-flight chain past its commit point runs to completion even
+        on a dead node, so its ticket is not orphaned).
+        """
+        while True:
+            t_start = self.cluster.engine.now
+            ticket = yield from counter.next(node.node_id)
+            node.trace.record(
+                node.node_id,
+                thread,
+                TaskCategory.NXTVAL,
+                f"NXTVAL#{ticket}",
+                t_start,
+                self.cluster.engine.now,
+            )
+            if ticket >= len(level_chains):
+                return True, None
+            if not node.alive:
+                # died while the request was in flight: claimed, no work done
+                return False, ticket
+            completed = yield from self._run_chain(
+                node, thread, level_chains[ticket], result, key, recovering=recovering
+            )
+            if not completed:
+                return False, ticket
+            if not node.alive:
+                # committed chain finished on a dead node; stop claiming
+                return False, None
+
+    def _run_chain(self, node, thread, chain, result, key, recovering=False):
+        """Run one chain with fault handling; returns True if completed.
+
+        Injected transient failures retry the chain from scratch (its
+        pre-commit phase has no side effects). A node crash kills the
+        chain at its next yield unless it has already passed its commit
+        point, in which case it runs to completion — the blocking GA
+        calls still work because the crash model only stops compute.
+        """
+        faults = self.cluster.faults
+        if faults is not None:
+            attempt = 0
+            while faults.plan.task_fails(f"chain:{chain.chain_id}", attempt):
+                faults.note_task_retry()
+                if faults.plan.task_fail_detect_s > 0:
+                    yield self.cluster.engine.timeout(faults.plan.task_fail_detect_s)
+                attempt += 1
+        committed = [False]
+        body = execute_chain(
+            self.cluster,
+            self.ga,
+            node,
+            thread,
+            chain,
+            on_commit=lambda: committed.__setitem__(0, True),
+        )
+        if faults is None:
+            yield from body
+            completed = True
+        else:
+            completed = yield from killable(
+                body, lambda: not node.alive and not committed[0]
+            )
+        if completed:
+            result.chains_executed += 1
+            result.chains_per_rank[key] += 1
+            if recovering:
+                faults.report.chains_recovered += 1
+        return completed
+
+    def _rank_died(self, node, level_chains, counter, result, lost_ticket, barrier):
+        """Wind down a dead rank: reissue, recover, leave the barrier."""
+        faults = self.cluster.faults
+        faults.report.ranks_lost += 1
+        if lost_ticket is not None and lost_ticket < len(level_chains):
+            counter.reissue(lost_ticket)
+            faults.report.tickets_reissued += 1
+            # The orphaned ticket must be re-claimed even if every
+            # survivor has already drained the counter and moved to the
+            # barrier — so run a recovery claim loop on a survivor and
+            # hold this rank's barrier slot until it finishes.
+            worker = self.cluster.engine.process(
+                self._recovery_worker(level_chains, counter, result),
+                name=f"legacy.recovery:{counter.inbox_name}",
+            )
+            yield worker
+        barrier.withdraw(1)
+
+    def _recovery_worker(self, level_chains, counter, result):
+        """Claim-loop on a surviving node until the counter is drained.
+
+        Runs on a thread lane above the worker cores so its trace row
+        does not collide with the node's own ranks. If the chosen
+        survivor itself dies mid-recovery, the loop reissues and moves
+        to the next survivor.
+        """
+        faults = self.cluster.faults
+        while True:
+            alive = [n for n in self.cluster.nodes if n.alive]
+            if not alive:
+                return  # total loss; the stall report will say so
+            node = alive[0]
+            thread = self.cluster.cores_per_node + 1
+            key = (node.node_id, thread)
+            result.chains_per_rank.setdefault(key, 0)
+            survived, lost = yield from self._claim_loop(
+                node, thread, level_chains, counter, result, key, recovering=True
+            )
+            if survived:
+                return
+            if lost is not None and lost < len(level_chains):
+                counter.reissue(lost)
+                faults.report.tickets_reissued += 1

@@ -45,10 +45,21 @@ class CommThread:
             self._serve(), name=f"parsec.comm{node.node_id}#{runtime.instance_id}"
         )
 
-    def send(self, consumer_key: tuple, flow: str, data: Any, size_bytes: float) -> None:
-        """Enqueue an outgoing transfer (called at task completion)."""
+    def send(
+        self,
+        consumer_key: tuple,
+        flow: str,
+        data: Any,
+        size_bytes: float,
+        tag: Any = None,
+    ) -> None:
+        """Enqueue an outgoing transfer (called at task completion).
+
+        ``tag`` identifies the producing task; it rides along with the
+        payload so the consumer can order multi-delivery flows
+        canonically regardless of network arrival order."""
         self.node.inbox(self.inbox_name).put(
-            ("send", consumer_key, flow, data, size_bytes)
+            ("send", consumer_key, flow, data, size_bytes, tag)
         )
 
     def _serve(self):
@@ -71,11 +82,13 @@ class CommThread:
                 yield self.engine.timeout(service)
             self.messages_processed += 1
             if isinstance(item, Message):
-                # incoming: payload is (consumer_key, flow, data)
-                consumer_key, flow, data = item.payload
-                runtime._deliver(consumer_key, flow, data)
+                # incoming: payload is (consumer_key, flow, data, tag)
+                consumer_key, flow, data, tag = item.payload
+                runtime._deliver(consumer_key, flow, data, tag=tag)
             else:
-                _, consumer_key, flow, data, size_bytes = item
+                _, consumer_key, flow, data, size_bytes, tag = item
+                # the consumer's home node is re-resolved at send time:
+                # a crash may have re-homed it since the producer ran
                 consumer_node = runtime.graph.instances[consumer_key].node
                 runtime.bytes_remote += size_bytes
                 runtime.messages_remote += 1
@@ -83,7 +96,7 @@ class CommThread:
                     self.node.node_id,
                     consumer_node,
                     size_bytes,
-                    (consumer_key, flow, data),
+                    (consumer_key, flow, data, tag),
                     inbox=self.inbox_name,
                     tag=f"parsec:{consumer_key[0]}",
                 )

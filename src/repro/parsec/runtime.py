@@ -13,6 +13,19 @@ each task's output dataflow:
 The engine is purely event-driven: between events the runtime costs
 nothing, matching the paper's "when the hardware is busy executing
 application code ... the runtime does not incur overhead".
+
+Fault tolerance
+---------------
+When a :class:`~repro.sim.faults.FaultPlan` is installed on the
+cluster, the runtime recovers from whole-node compute crashes by
+re-deriving the lost work from the symbolic task graph — the property
+the paper's PTG representation is built on. Every unfinished task
+placed on the dead node is re-homed round-robin onto survivors and its
+execution epoch bumped (aborting any in-flight attempt at its next
+yield point); its still-held input repository entries make re-execution
+cheap. Tasks whose bodies already *committed* irreversible effects are
+left to finish — the commit marker is what gives exactly-once
+write semantics under crashes.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from repro.parsec.scheduler import NodeScheduler
 from repro.parsec.taskclass import TaskContext, TaskInstance
 from repro.sim.cluster import Cluster
 from repro.sim.engine import SimEvent
-from repro.util.errors import DataflowError
+from repro.util.errors import DataflowError, StallError
 
 __all__ = ["ParsecRuntime", "ParsecResult"]
 
@@ -42,6 +55,13 @@ class ParsecResult:
     messages_remote: int = 0
     bytes_remote: float = 0.0
     deliveries_local: int = 0
+    # recovery counters (nonzero only under an installed FaultPlan)
+    task_retries: int = 0
+    retransmits: int = 0
+    tasks_recomputed: int = 0
+    tasks_reassigned: int = 0
+    nodes_crashed: int = 0
+    recovery_overhead_s: float = 0.0
 
 
 _instance_ids = itertools.count()
@@ -94,6 +114,8 @@ class ParsecRuntime:
                 )
             )
             self.comms.append(CommThread(self, node))
+        if self.cluster.faults is not None:
+            self.cluster.faults.on_crash(self._handle_crash)
         if len(self.graph) == 0:
             self.done.succeed()
             return self.done
@@ -111,18 +133,16 @@ class ParsecRuntime:
     def execute(self, ptg: PTG, md: Any, validate: bool = True) -> ParsecResult:
         """Run a PTG to completion; returns timing and statistics."""
         start_time = self.cluster.engine.now
+        faults = self.cluster.faults
+        before = faults.report.snapshot() if faults is not None else None
         done = self.launch(ptg, md, validate=validate)
         end_time = self.cluster.run()
         if not done.triggered:
-            stuck = [t.label for t in self.graph.instances.values() if not t.done]
-            raise DataflowError(
-                f"execution stalled with {len(stuck)} unfinished tasks "
-                f"(first few: {stuck[:5]})"
-            )
+            raise self._stall_error()
         per_class: dict[str, int] = {}
         for task in self.graph.instances.values():
             per_class[task.cls.name] = per_class.get(task.cls.name, 0) + 1
-        return ParsecResult(
+        result = ParsecResult(
             execution_time=end_time - start_time,
             n_tasks=len(self.graph),
             tasks_per_class=per_class,
@@ -130,6 +150,98 @@ class ParsecRuntime:
             bytes_remote=self.bytes_remote,
             deliveries_local=self.deliveries_local,
         )
+        if faults is not None:
+            delta = faults.report.delta(before)
+            result.task_retries = delta.task_retries
+            result.retransmits = delta.retransmits
+            result.tasks_recomputed = delta.tasks_recomputed
+            result.tasks_reassigned = delta.tasks_reassigned
+            result.nodes_crashed = delta.nodes_crashed
+            result.recovery_overhead_s = delta.recovery_overhead_s
+        return result
+
+    # ------------------------------------------------------------------
+    # stall watchdog
+    # ------------------------------------------------------------------
+    def _waiting_flows(self, task: TaskInstance) -> list[str]:
+        """Which flows a not-yet-ready task is still missing, as
+        ``name(received/expected)`` strings."""
+        missing = []
+        for flow in task.cls.flows:
+            expected = sum(
+                1 for dep in flow.inputs if dep.active(task.params, self.md)
+            )
+            if expected == 0:
+                continue
+            got = task.inputs.get(flow.name)
+            received = 0 if got is None else (len(got) if isinstance(got, list) else 1)
+            if received < expected:
+                missing.append(f"{flow.name}({received}/{expected})")
+        return missing
+
+    def _stall_error(self) -> StallError:
+        """Build the diagnosable stall report the watchdog raises."""
+        stuck = [t for t in self.graph.instances.values() if not t.done]
+        lines = [
+            f"execution stalled with {len(stuck)} unfinished tasks "
+            f"(of {len(self.graph)}) at t={self.cluster.engine.now:.6f}s"
+        ]
+        for sched in self.schedulers:
+            node = sched.node
+            lines.append(
+                f"  node {node.node_id}: alive={node.alive} "
+                f"ready={sched.ready_depth()} "
+                f"nic tx/rx backlog={node.nic.tx_backlog}/{node.nic.rx_backlog}"
+            )
+        for task in stuck[:10]:
+            waiting = self._waiting_flows(task)
+            detail = (
+                f"waiting on {', '.join(waiting)}"
+                if waiting
+                else ("ready but never ran" if not task.started else "started, never finished")
+            )
+            lines.append(f"  stuck: {task.label} @node{task.node}: {detail}")
+        if len(stuck) > 10:
+            lines.append(f"  ... and {len(stuck) - 10} more")
+        faults = self.cluster.faults
+        if faults is not None:
+            lines.append(f"  fault report: {faults.report.summary()}")
+        return StallError(
+            "\n".join(lines), report=faults.report if faults is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _handle_crash(self, node) -> None:
+        """Re-home the dead node's unfinished tasks onto survivors.
+
+        Runs synchronously at the crash instant. Deterministic: the
+        instance sweep is in sorted key order and survivors are filled
+        round-robin. Committed tasks stay put (their effects are already
+        published); everything else gets a fresh epoch, which aborts any
+        in-flight attempt at its next yield point.
+        """
+        if self.graph is None or self.done is None or self.done.triggered:
+            return
+        dead = node.node_id
+        survivors = [n.node_id for n in self.cluster.nodes if n.alive]
+        if not survivors:
+            return  # nothing to fail over to; the watchdog will report
+        self.schedulers[dead].drain()
+        report = self.cluster.faults.report
+        placed = 0
+        for key in sorted(self.graph.instances):
+            task = self.graph.instances[key]
+            if task.node != dead or task.done or task.committed:
+                continue
+            task.node = survivors[placed % len(survivors)]
+            task.epoch += 1
+            task.started = False
+            placed += 1
+            if task.pending == 0:
+                self.schedulers[task.node].enqueue(task)
+        report.tasks_reassigned += placed
 
     # ------------------------------------------------------------------
     # completion / delivery machinery (called from workers & comm threads)
@@ -153,19 +265,21 @@ class ParsecRuntime:
                     )
                 if consumer.node == task.node:
                     # same node: pass by pointer, no transport
-                    self._deliver(consumer_key, dep.flow, payload)
+                    self._deliver(consumer_key, dep.flow, payload, tag=task.key)
                 else:
                     size_fn = dep.size_elems or flow.size_elems
                     size_bytes = 8.0 * float(size_fn(task.params, md))
                     self.comms[task.node].send(
-                        consumer_key, dep.flow, payload, size_bytes
+                        consumer_key, dep.flow, payload, size_bytes, tag=task.key
                     )
         self._completed += 1
         if self._completed == len(self.graph):
             self.done.succeed()
 
-    def _deliver(self, consumer_key: tuple, flow: str, data: Any) -> None:
+    def _deliver(
+        self, consumer_key: tuple, flow: str, data: Any, tag: Any = None
+    ) -> None:
         consumer = self.graph.instances[consumer_key]
         self.deliveries_local += 1
-        if consumer.receive(flow, data):
+        if consumer.receive(flow, data, tag=tag):
             self.schedulers[consumer.node].enqueue(consumer)

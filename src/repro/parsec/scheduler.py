@@ -16,6 +16,7 @@ from enum import Enum
 from typing import TYPE_CHECKING
 
 from repro.parsec.taskclass import TaskContext, TaskInstance
+from repro.sim.faults import killable
 from repro.sim.queues import LifoStore, PriorityStore, Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -85,6 +86,26 @@ class NodeScheduler:
                 self._gpu_worker(gpu), name=f"parsec.gpu{node.node_id}.{gpu}"
             )
 
+    def ready_depth(self) -> int:
+        """Tasks currently queued (CPU + GPU ready stores)."""
+        depth = len(self.ready)
+        if self.gpu_ready is not None:
+            depth += len(self.gpu_ready)
+        return depth
+
+    def drain(self) -> list[TaskInstance]:
+        """Empty the ready queues; used when this node's compute dies."""
+        drained: list[TaskInstance] = []
+        for store in (self.ready, self.gpu_ready):
+            if store is None:
+                continue
+            while True:
+                ok, item = store.try_get()
+                if not ok:
+                    break
+                drained.append(item)
+        return drained
+
     def enqueue(self, task: TaskInstance) -> None:
         """Make a task available under the node's scheduling policy."""
         queue = self.ready
@@ -95,19 +116,61 @@ class NodeScheduler:
         else:
             queue.put(task)
 
+    def _retry_gate(self, task: TaskInstance):
+        """Generator helper: burn injected transient failures, if any.
+
+        Each failed attempt costs the plan's detection latency; the
+        decision is a pure function of (task label, attempt), so retry
+        counts are identical across runs with the same fault seed.
+        """
+        faults = self.runtime.cluster.faults
+        if faults is None:
+            return
+        attempt = 0
+        while faults.plan.task_fails(task.label, attempt):
+            faults.note_task_retry()
+            if faults.plan.task_fail_detect_s > 0:
+                yield self.engine.timeout(faults.plan.task_fail_detect_s)
+            attempt += 1
+
+    def _run_body(self, task: TaskInstance, context: TaskContext):
+        """Generator helper: execute the body, abortable on crash.
+
+        Returns True if the body completed. A False return means a
+        crash re-homed the task mid-flight (its epoch changed); the
+        caller must drop this attempt — the survivor node re-executes
+        from the task's still-held inputs.
+        """
+        epoch = task.epoch
+        completed = yield from killable(
+            task.cls.run(context), lambda: task.epoch != epoch
+        )
+        return completed
+
     def _worker(self, thread: int):
         cluster = self.runtime.cluster
         machine = cluster.machine
         node = self.node
         while True:
             task: TaskInstance = yield self.ready.get()
+            if not node.alive:
+                break  # queued work was re-homed by the crash handler
             # per-task runtime bookkeeping (select + dependence checks)
             if machine.task_overhead_s > 0:
                 yield self.engine.timeout(machine.task_overhead_s)
+            yield from self._retry_gate(task)
+            if not node.alive:
+                # crashed while this attempt was ramping up; the task was
+                # already re-homed, and starting it here would capture the
+                # *bumped* epoch and defeat the kill predicate
+                break
             task.started = True
             context = TaskContext(task, self.runtime.md, cluster, node, thread)
             t_start = self.engine.now
-            yield from task.cls.run(context)
+            completed = yield from self._run_body(task, context)
+            if not completed:
+                cluster.faults.note_abort(self.engine.now - t_start)
+                break  # epoch bumps only come from this node's own crash
             node.trace.record(
                 node.node_id,
                 thread,
@@ -119,6 +182,8 @@ class NodeScheduler:
             task.done = True
             self.tasks_executed += 1
             self.runtime._on_complete(task, context)
+            if not node.alive:
+                break
 
     def _gpu_worker(self, gpu: int):
         """One accelerator: stage inputs in, run the kernel, stage out.
@@ -133,8 +198,13 @@ class NodeScheduler:
         thread = cluster.cores_per_node + 1 + gpu  # +1 skips the comm thread row
         while True:
             task: TaskInstance = yield self.gpu_ready.get()
+            if not node.alive:
+                break  # queued work was re-homed by the crash handler
             if machine.gpu_task_overhead_s > 0:
                 yield self.engine.timeout(machine.gpu_task_overhead_s)
+            yield from self._retry_gate(task)
+            if not node.alive:
+                break  # see _worker: avoid capturing a post-crash epoch
             task.started = True
             context = TaskContext(
                 task, md, cluster, node, thread, device="gpu"
@@ -147,7 +217,10 @@ class NodeScheduler:
             )
             if in_bytes > 0:
                 yield node.pcie.transfer(in_bytes)
-            yield from task.cls.run(context)
+            completed = yield from self._run_body(task, context)
+            if not completed:
+                cluster.faults.note_abort(self.engine.now - t_start)
+                break  # epoch bumps only come from this node's own crash
             out_bytes = 8.0 * sum(
                 flow.size_elems(task.params, md)
                 for flow in task.cls.flows
@@ -167,3 +240,5 @@ class NodeScheduler:
             task.done = True
             self.gpu_tasks_executed += 1
             self.runtime._on_complete(task, context)
+            if not node.alive:
+                break

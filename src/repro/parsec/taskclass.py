@@ -139,8 +139,11 @@ class TaskInstance:
         "priority",
         "pending",
         "inputs",
+        "input_tags",
         "started",
         "done",
+        "epoch",
+        "committed",
     )
 
     def __init__(
@@ -152,8 +155,16 @@ class TaskInstance:
         self.priority = priority
         self.pending = pending
         self.inputs: dict[str, Any] = {}
+        self.input_tags: dict[str, Any] = {}
         self.started = False
         self.done = False
+        #: bumped when a crash re-homes the task; a worker whose captured
+        #: epoch no longer matches aborts its (now stale) execution
+        self.epoch = 0
+        #: set by TaskContext.commit() in the same synchronous step as
+        #: the body's irreversible side effects; committed tasks are
+        #: never aborted or re-homed
+        self.committed = False
 
     @property
     def key(self) -> tuple[str, Params]:
@@ -163,8 +174,14 @@ class TaskInstance:
     def label(self) -> str:
         return f"{self.cls.name}{self.params}"
 
-    def receive(self, flow: str, data: Any) -> bool:
-        """Satisfy one input delivery; returns True if now ready."""
+    def receive(self, flow: str, data: Any, tag: Any = None) -> bool:
+        """Satisfy one input delivery; returns True if now ready.
+
+        ``tag`` identifies the producer (the sending task's key); it is
+        stored alongside the data so order-sensitive consumers can
+        process multi-delivery flows in a canonical producer order
+        rather than in arrival order.
+        """
         if self.done or self.started:
             raise DataflowError(f"delivery to already-running task {self.label}")
         if self.pending <= 0:
@@ -175,12 +192,22 @@ class TaskInstance:
             existing = self.inputs[flow]
             if not isinstance(existing, list):
                 existing = [existing]
+                self.input_tags[flow] = [self.input_tags.get(flow)]
             existing.append(data)
             self.inputs[flow] = existing
+            self.input_tags[flow].append(tag)
         else:
             self.inputs[flow] = data
+            self.input_tags[flow] = tag
         self.pending -= 1
         return self.pending == 0
+
+    def input_tag_list(self, flow: str) -> list:
+        """Producer tags of ``flow``, parallel to its delivery list."""
+        tags = self.input_tags.get(flow)
+        if not isinstance(tags, list):
+            tags = [tags]
+        return tags
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TaskInstance({self.label} @node{self.node})"
@@ -237,11 +264,24 @@ class TaskContext:
     def charge(self, cost):
         """Generator helper: burn one OpCost on this node/thread.
 
-        CPU time is exclusive core time; bytes go through the node's
-        shared memory bandwidth. The enclosing task span is traced by
-        the worker, so charges stay untraced here.
+        CPU time is exclusive core time (scaled by any straggler window
+        active on the node); bytes go through the node's shared memory
+        bandwidth. The enclosing task span is traced by the worker, so
+        charges stay untraced here.
         """
         if cost.cpu > 0:
-            yield self.cluster.engine.timeout(cost.cpu)
+            yield self.cluster.engine.timeout(cost.cpu * self.node.cpu_scale())
         if cost.bytes > 0:
             yield self.node.membw.transfer(cost.bytes)
+
+    def commit(self) -> None:
+        """Mark the task's side effects as irrevocably published.
+
+        Bodies with external effects (the WRITE tasks accumulating into
+        a Global Array) call this in the *same synchronous step* as the
+        effects themselves. A crash before the commit aborts a clean,
+        effect-free body; after it, the task is allowed to run to
+        completion even on a dead node (its writes are already in
+        flight) and is never re-executed — exactly-once semantics.
+        """
+        self.task.committed = True

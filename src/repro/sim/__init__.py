@@ -14,9 +14,12 @@ partition of the PNNL Cascade cluster). It provides:
 - :mod:`repro.sim.cost` — calibrated operation cost models.
 - :mod:`repro.sim.trace` — execution tracing (the PaRSEC instrumentation
   stand-in used to reproduce Figures 10-13).
+- :mod:`repro.sim.faults` — seed-driven fault injection (task failures,
+  message drop/delay/duplication, stragglers, node crashes).
 
 Everything is deterministic: identical inputs produce identical event
-orderings and identical virtual timestamps.
+orderings and identical virtual timestamps — including injected faults,
+which are pure functions of a master seed and stable decision keys.
 """
 
 from repro.sim.engine import Engine, Process, SimEvent, Timeout, all_of, any_of
@@ -28,6 +31,13 @@ from repro.sim.cost import MachineModel
 from repro.sim.node import Node
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.trace import TraceRecorder, TraceEvent, TaskCategory
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    NodeCrash,
+    Straggler,
+)
 
 __all__ = [
     "Engine",
@@ -51,4 +61,9 @@ __all__ = [
     "TraceRecorder",
     "TraceEvent",
     "TaskCategory",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "NodeCrash",
+    "Straggler",
 ]

@@ -84,12 +84,32 @@ class Cluster:
         self.trace = TraceRecorder(enabled=config.trace_enabled)
         self.network = Network(self.engine, config.machine)
         self.nodes: list[Node] = []
+        #: the FaultInjector, once install_faults() has been called
+        self.faults = None
         for node_id in range(config.n_nodes):
             node = Node(
                 self.engine, node_id, config.machine, config.cores_per_node, self.trace
             )
             self.network.register(node)
             self.nodes.append(node)
+
+    def install_faults(self, plan):
+        """Arm a :class:`~repro.sim.faults.FaultPlan` on this cluster.
+
+        Returns the :class:`~repro.sim.faults.FaultInjector`, whose
+        ``report`` accumulates fault and recovery counters. Must be
+        called before the runtimes that should observe the faults are
+        launched, and at most once per cluster.
+        """
+        from repro.sim.faults import FaultInjector
+
+        if self.faults is not None:
+            raise ConfigurationError("install_faults() called twice on one cluster")
+        injector = FaultInjector(self, plan)
+        injector.install()
+        self.faults = injector
+        self.network.faults = injector
+        return injector
 
     @property
     def machine(self) -> MachineModel:

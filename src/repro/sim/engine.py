@@ -325,22 +325,33 @@ def all_of(engine: Engine, events: Iterable) -> SimEvent:
 
 
 def any_of(engine: Engine, events: Iterable) -> SimEvent:
-    """An event that succeeds when the first input waitable succeeds.
+    """An event that succeeds when the first input waitable *succeeds*.
 
-    The success value is ``(index, value)`` of the winner. Fails if the
-    first waitable to trigger fails.
+    The success value is ``(index, value)`` of the winner. Failures are
+    not fatal while any input might still succeed: the combined event
+    fails only once **every** input has failed, and then with the first
+    failure's exception. (An earlier version failed as soon as the first
+    triggered waitable failed, which let a fast failure mask a slower
+    success — exactly the race recovery code hits when one of several
+    redundant attempts dies first.)
     """
     events = list(events)
     if not events:
         raise SimulationError("any_of() needs at least one event")
     combined = SimEvent(engine)
+    failed = [0]
+    first_failure: list[Optional[BaseException]] = [None]
 
     def make_cb(index: int):
         def on_fire(ev: SimEvent) -> None:
             if combined.triggered:
                 return
             if ev.failed:
-                combined.fail(ev.value)
+                if first_failure[0] is None:
+                    first_failure[0] = ev.value
+                failed[0] += 1
+                if failed[0] == len(events):
+                    combined.fail(first_failure[0])
             else:
                 combined.succeed((index, ev.value))
 

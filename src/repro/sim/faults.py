@@ -1,0 +1,303 @@
+"""Deterministic fault injection: the plan, the injector, the report.
+
+The runtimes in this package are deterministic discrete-event programs,
+and the fault model keeps them that way: every injected fault is a pure
+function of a *master seed* and a stable decision key, never of wall
+clock or of the order in which components happen to ask. Two runs with
+the same :class:`FaultPlan` therefore see the same task failures, the
+same message fates, the same straggler windows, and the same crash
+times — so recovery paths can be regression-tested bit for bit.
+
+Fault classes
+-------------
+- **Transient task failures** — a task body attempt fails before doing
+  any work (decided per ``(label, attempt)``); the scheduler pays a
+  detection latency and retries, up to ``max_task_retries`` times.
+- **Message faults** — each NIC-crossing transmission attempt is
+  assigned a fate (``drop``/``delay``/``dup``/``ok``) per
+  ``(tag, seq, attempt)``. Drops are recovered by ack-timeout
+  retransmission with exponential backoff; duplicates are discarded at
+  the receiver by sequence number (exactly-once delivery holds).
+- **Stragglers** — a node's CPU costs are scaled by a factor inside a
+  virtual-time window.
+- **Node crashes** — at a planned time a node's *compute* halts
+  permanently. The model is compute-fail-stop: the node's memory, NIC,
+  communication thread, and Global Arrays handler survive (RDMA-style),
+  so in-flight protocol traffic still completes; only task execution
+  stops, and the runtimes re-home that work onto survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.util.errors import ConfigurationError, TaskKilled
+from repro.util.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.cluster import Cluster
+    from repro.sim.network import Message
+
+__all__ = [
+    "Straggler",
+    "NodeCrash",
+    "FaultPlan",
+    "FaultReport",
+    "FaultInjector",
+    "killable",
+]
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One slow-node episode: CPU costs on ``node`` are multiplied by
+    ``factor`` while the virtual clock is in ``[t_start, t_end)``."""
+
+    node: int
+    t_start: float
+    t_end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigurationError(f"straggler factor must be >= 1, got {self.factor}")
+        if self.t_end < self.t_start:
+            raise ConfigurationError("straggler window ends before it starts")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Permanent compute failure of ``node`` at virtual time ``at``."""
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed-driven schedule of faults for one simulated run.
+
+    Probabilistic decisions (task failures, message fates) are keyed:
+    ``decision = f(master_seed, key)`` where the key names the exact
+    attempt being decided. This makes the plan *stateless* — components
+    may query in any order without perturbing each other's faults.
+    """
+
+    master_seed: int = 0
+    #: probability that one task-body attempt fails transiently
+    task_fail_prob: float = 0.0
+    #: failed attempts beyond this count succeed unconditionally
+    max_task_retries: int = 3
+    #: virtual time to detect one transient task failure
+    task_fail_detect_s: float = 5.0e-6
+    #: per-transmission-attempt probabilities of each message fate
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    dup_prob: float = 0.0
+    #: extra in-flight latency of a delayed message
+    msg_delay_s: float = 5.0e-6
+    #: base ack timeout before the first retransmission
+    retransmit_timeout_s: float = 2.0e-5
+    #: drops beyond this attempt count are suppressed (bounded recovery)
+    max_retransmits: int = 6
+    stragglers: tuple[Straggler, ...] = ()
+    crashes: tuple[NodeCrash, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("task_fail_prob", "drop_prob", "delay_prob", "dup_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        if self.drop_prob + self.delay_prob + self.dup_prob > 1.0:
+            raise ConfigurationError("message fate probabilities sum past 1")
+
+    # -- stateless seeded decisions --------------------------------------
+    def _uniform(self, key: str) -> float:
+        """Deterministic uniform [0, 1) draw for one decision key."""
+        return derive_seed(self.master_seed, key) / float(2**63)
+
+    def task_fails(self, label: str, attempt: int) -> bool:
+        """Should attempt number ``attempt`` of task ``label`` fail?"""
+        if attempt >= self.max_task_retries:
+            return False
+        return self._uniform(f"taskfail:{label}:{attempt}") < self.task_fail_prob
+
+    def message_fate(self, tag: str, seq: int, attempt: int) -> str:
+        """Fate of one transmission attempt: drop | delay | dup | ok."""
+        u = self._uniform(f"msg:{tag}:{seq}:{attempt}")
+        if u < self.drop_prob:
+            return "drop" if attempt < self.max_retransmits else "ok"
+        if u < self.drop_prob + self.delay_prob:
+            return "delay"
+        if u < self.drop_prob + self.delay_prob + self.dup_prob:
+            return "dup"
+        return "ok"
+
+    def backoff(self, attempt: int) -> float:
+        """Ack-timeout before retransmission ``attempt + 1`` (exponential)."""
+        return self.retransmit_timeout_s * (2.0**attempt)
+
+    def describe(self) -> str:
+        parts = [
+            f"seed={self.master_seed}",
+            f"task_fail={self.task_fail_prob:g}",
+            f"drop={self.drop_prob:g}",
+            f"delay={self.delay_prob:g}",
+            f"dup={self.dup_prob:g}",
+        ]
+        for s in self.stragglers:
+            parts.append(
+                f"straggler(node {s.node} x{s.factor:g} "
+                f"@[{s.t_start:.3g},{s.t_end:.3g}))"
+            )
+        for c in self.crashes:
+            parts.append(f"crash(node {c.node} @{c.at:.3g})")
+        return " ".join(parts)
+
+
+@dataclass
+class FaultReport:
+    """What the injector observed and what recovery it triggered."""
+
+    task_retries: int = 0
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    messages_duplicated: int = 0
+    retransmits: int = 0
+    #: started tasks aborted by a crash and re-executed elsewhere
+    tasks_recomputed: int = 0
+    #: tasks re-homed off a crashed node (superset of recomputed)
+    tasks_reassigned: int = 0
+    #: legacy: NXTVAL tickets returned to the pool by dying ranks
+    tickets_reissued: int = 0
+    #: legacy: chains executed by recovery workers on survivors
+    chains_recovered: int = 0
+    ranks_lost: int = 0
+    nodes_crashed: int = 0
+    #: virtual time burned on detection latencies, retransmit backoffs,
+    #: and partial executions lost to aborts
+    recovery_overhead_s: float = 0.0
+
+    def snapshot(self) -> "FaultReport":
+        """Copy of the current counters (for before/after diffing)."""
+        return replace(self)
+
+    def delta(self, earlier: "FaultReport") -> "FaultReport":
+        """Counter-wise difference ``self - earlier``."""
+        out = FaultReport()
+        for f in fields(FaultReport):
+            setattr(out, f.name, getattr(self, f.name) - getattr(earlier, f.name))
+        return out
+
+    def any_recovery(self) -> bool:
+        """True if any fault was seen or any recovery action taken."""
+        return any(getattr(self, f.name) for f in fields(FaultReport))
+
+    def summary(self) -> str:
+        active = [
+            f"{f.name}={getattr(self, f.name):g}"
+            for f in fields(FaultReport)
+            if getattr(self, f.name)
+        ]
+        return " ".join(active) if active else "no faults"
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to a live cluster.
+
+    Created through :meth:`repro.sim.cluster.Cluster.install_faults`.
+    Holds the run's :class:`FaultReport`, applies straggler windows to
+    nodes, schedules crash events, and lets runtimes subscribe to crash
+    notifications (delivered synchronously at the crash instant, after
+    the node's ``alive`` flag flips).
+    """
+
+    def __init__(self, cluster: "Cluster", plan: FaultPlan) -> None:
+        for s in plan.stragglers:
+            if not 0 <= s.node < cluster.n_nodes:
+                raise ConfigurationError(f"straggler names unknown node {s.node}")
+        for c in plan.crashes:
+            if not 0 <= c.node < cluster.n_nodes:
+                raise ConfigurationError(f"crash names unknown node {c.node}")
+        self.cluster = cluster
+        self.plan = plan
+        self.report = FaultReport()
+        self._crash_callbacks: list[Callable] = []
+
+    def install(self) -> None:
+        """Arm the plan: straggler windows now, crashes via the heap."""
+        engine = self.cluster.engine
+        for s in self.plan.stragglers:
+            self.cluster.nodes[s.node].slow_windows.append(
+                (s.t_start, s.t_end, s.factor)
+            )
+        for c in self.plan.crashes:
+            engine.schedule(max(0.0, c.at - engine.now), self._crash, c.node)
+
+    def on_crash(self, callback: Callable) -> None:
+        """Register ``callback(node)`` to run when any node crashes."""
+        self._crash_callbacks.append(callback)
+
+    def _crash(self, node_id: int) -> None:
+        node = self.cluster.nodes[node_id]
+        if not node.alive:
+            return
+        node.alive = False
+        self.report.nodes_crashed += 1
+        for callback in self._crash_callbacks:
+            callback(node)
+
+    # -- bookkeeping helpers used by the recovery paths ------------------
+    def note_task_retry(self) -> None:
+        self.report.task_retries += 1
+        self.report.recovery_overhead_s += self.plan.task_fail_detect_s
+
+    def note_abort(self, lost_time: float) -> None:
+        self.report.tasks_recomputed += 1
+        self.report.recovery_overhead_s += lost_time
+
+
+def killable(gen: Generator, should_abort: Callable[[], bool]):
+    """Drive a task-body generator, aborting it between steps.
+
+    Generator helper (``completed = yield from killable(body, pred)``).
+    After every resume of the enclosing process, ``should_abort()`` is
+    consulted; if true, :class:`~repro.util.errors.TaskKilled` is thrown
+    into the body so its ``finally`` blocks run — and any waitables those
+    cleanup blocks yield (mutex unlocks pay an overhead) are still
+    driven to completion. Returns ``True`` if the body finished
+    normally, ``False`` if it was aborted. Ordinary exceptions raised by
+    the body propagate unchanged, and failed waitables are thrown into
+    the body exactly as :class:`~repro.sim.engine.Process` would.
+    """
+    killed = False
+    pending_throw: Optional[BaseException] = None
+    payload = None
+    first = True
+    while True:
+        try:
+            if pending_throw is not None:
+                exc, pending_throw = pending_throw, None
+                target = gen.throw(exc)
+            elif first:
+                target = gen.send(None)
+            else:
+                target = gen.send(payload)
+        except StopIteration:
+            return not killed
+        except TaskKilled:
+            return False
+        first = False
+        try:
+            payload = yield target
+        except BaseException as exc:  # failed waitable: forward to the body
+            pending_throw = exc
+            continue
+        if not killed and should_abort():
+            killed = True
+            pending_throw = TaskKilled("node crashed under this task")

@@ -92,6 +92,9 @@ class Network:
         self.machine = machine
         self._nodes: dict[int, "Node"] = {}
         self._seq = itertools.count()
+        #: set by Cluster.install_faults(); message fates apply per
+        #: transmission attempt, with ack-timeout retransmission
+        self.faults = None
         # statistics
         self.messages_sent = 0
         self.bytes_sent = 0.0
@@ -148,9 +151,36 @@ class Network:
         dst_node = self.node(message.dst)
         if message.src != message.dst:
             wire = self.machine.wire_time(message.size_bytes)
-            yield from src_node.nic.tx.use(wire)
-            yield self.engine.timeout(self.machine.net_latency_s)
-            yield from dst_node.nic.rx.use(wire)
+            attempt = 0
+            while True:
+                yield from src_node.nic.tx.use(wire)
+                fate = "ok"
+                if self.faults is not None:
+                    fate = self.faults.plan.message_fate(
+                        message.tag, message.seq, attempt
+                    )
+                if fate == "drop":
+                    # lost on the wire: wait out the ack timeout
+                    # (exponential backoff), then retransmit
+                    report = self.faults.report
+                    report.messages_dropped += 1
+                    report.retransmits += 1
+                    backoff = self.faults.plan.backoff(attempt)
+                    report.recovery_overhead_s += backoff
+                    yield self.engine.timeout(backoff)
+                    attempt += 1
+                    continue
+                if fate == "delay":
+                    self.faults.report.messages_delayed += 1
+                    yield self.engine.timeout(self.faults.plan.msg_delay_s)
+                yield self.engine.timeout(self.machine.net_latency_s)
+                yield from dst_node.nic.rx.use(wire)
+                if fate == "dup":
+                    # the duplicate also crosses the receiver's NIC, then
+                    # is discarded by sequence number (exactly-once)
+                    self.faults.report.messages_duplicated += 1
+                    yield from dst_node.nic.rx.use(wire)
+                break
         if on_deliver is not None:
             on_deliver(message)
         else:

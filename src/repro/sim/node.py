@@ -58,6 +58,11 @@ class Node:
         self._inboxes: dict[str, Store] = {}
         self._mutexes: dict[str, SimMutex] = {}
         self._pcie: BandwidthResource | None = None
+        #: False once the node's compute has fail-stopped (see
+        #: repro.sim.faults). Memory, NIC, and service processes survive.
+        self.alive = True
+        #: straggler episodes: (t_start, t_end, factor) CPU multipliers
+        self.slow_windows: list[tuple[float, float, float]] = []
 
     @property
     def pcie(self) -> BandwidthResource:
@@ -93,6 +98,17 @@ class Node:
         return mutex
 
     # ------------------------------------------------------------------
+    def cpu_scale(self) -> float:
+        """Current CPU-cost multiplier (straggler windows, default 1)."""
+        if not self.slow_windows:
+            return 1.0
+        now = self.engine.now
+        factor = 1.0
+        for t_start, t_end, window_factor in self.slow_windows:
+            if t_start <= now < t_end:
+                factor *= window_factor
+        return factor
+
     def execute(
         self,
         thread: int,
@@ -103,13 +119,14 @@ class Node:
     ):
         """Generator helper: run one operation on this node and trace it.
 
-        Charges ``cost.cpu`` as exclusive core time then ``cost.bytes``
-        through the shared memory bandwidth, and records the enclosing
-        span. Use as ``yield from node.execute(...)``.
+        Charges ``cost.cpu`` as exclusive core time (scaled by any
+        active straggler window) then ``cost.bytes`` through the shared
+        memory bandwidth, and records the enclosing span. Use as
+        ``yield from node.execute(...)``.
         """
         t_start = self.engine.now
         if cost.cpu > 0:
-            yield self.engine.timeout(cost.cpu)
+            yield self.engine.timeout(cost.cpu * self.cpu_scale())
         if cost.bytes > 0:
             yield self.membw.transfer(cost.bytes)
         self.trace.record(
@@ -119,7 +136,7 @@ class Node:
     def occupy(self, duration: float):
         """Generator helper: plain untraced core time (overheads)."""
         if duration > 0:
-            yield self.engine.timeout(duration)
+            yield self.engine.timeout(duration * self.cpu_scale())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.node_id}, cores={self.cores})"

@@ -28,6 +28,30 @@ class DataflowError(ReproError):
     """
 
 
+class StallError(DataflowError):
+    """A runtime stalled without completing its task graph.
+
+    Subclass of :class:`DataflowError` so existing handlers keep
+    working; the message carries a per-node diagnostic (ready-queue
+    depths, NIC backlogs, liveness) plus the flows each stuck task is
+    still waiting on. When fault injection is active the associated
+    :class:`~repro.sim.faults.FaultReport` is attached as ``report``.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class TaskKilled(ReproError):
+    """Thrown into a simulated task body to abort it (node crash).
+
+    Raised by :func:`repro.sim.faults.killable` at the body's next
+    yield point so its ``finally`` blocks run (releasing mutexes and
+    other resources); task bodies must not swallow it.
+    """
+
+
 class ConfigurationError(ReproError):
     """Invalid experiment, cluster, or variant configuration."""
 

@@ -281,6 +281,133 @@ class TestCombinators:
             any_of(engine, [])
 
 
+class TestCancelInteraction:
+    """ScheduledCall.cancel crossed with peek() and run(until=...)."""
+
+    def test_cancel_between_bounded_runs(self, engine):
+        fired = []
+        call = engine.schedule(5.0, fired.append, True)
+        assert engine.run(until=3.0) == 3.0
+        call.cancel()
+        # the cancelled slot is popped silently; the clock does not
+        # advance to its time
+        assert engine.run() == 3.0
+        assert fired == []
+
+    def test_peek_none_when_all_cancelled(self, engine):
+        a = engine.schedule(1.0, lambda: None)
+        b = engine.schedule(2.0, lambda: None)
+        a.cancel()
+        b.cancel()
+        assert engine.peek() is None
+
+    def test_callback_cancels_later_call(self, engine):
+        fired = []
+        later = engine.schedule(2.0, fired.append, "later")
+        engine.schedule(1.0, later.cancel)
+        engine.run()
+        assert fired == []
+
+    def test_run_until_ignores_cancelled_head(self, engine):
+        fired = []
+        head = engine.schedule(1.0, fired.append, "head")
+        engine.schedule(5.0, fired.append, "tail")
+        head.cancel()
+        # the cancelled head must not stop a bounded run short of until
+        assert engine.run(until=2.0) == 2.0
+        assert fired == []
+        engine.run()
+        assert fired == ["tail"]
+
+    def test_cancel_after_firing_is_harmless(self, engine):
+        fired = []
+        call = engine.schedule(1.0, fired.append, True)
+        engine.run()
+        call.cancel()  # no-op: already popped
+        assert fired == [True]
+
+
+class TestCombinatorFailures:
+    """all_of / any_of under failing inputs."""
+
+    def test_any_of_slow_success_beats_fast_failure(self, engine):
+        slow = engine.timeout(5.0, value="slow-win")
+        fast_fail = engine.event()
+        engine.schedule(1.0, fast_fail.fail, RuntimeError("fast loser"))
+        results = []
+
+        def worker():
+            index, value = yield any_of(engine, [slow, fast_fail])
+            results.append((engine.now, index, value))
+
+        engine.process(worker())
+        engine.run()
+        assert results == [(5.0, 0, "slow-win")]
+
+    def test_any_of_fails_only_when_all_failed(self, engine):
+        first = engine.event()
+        second = engine.event()
+        engine.schedule(1.0, first.fail, RuntimeError("first"))
+        engine.schedule(2.0, second.fail, RuntimeError("second"))
+        caught = []
+
+        def worker():
+            try:
+                yield any_of(engine, [first, second])
+            except RuntimeError as exc:
+                caught.append((engine.now, str(exc)))
+
+        engine.process(worker())
+        engine.run()
+        # fails at the LAST failure, with the FIRST failure's exception
+        assert caught == [(2.0, "first")]
+
+    def test_any_of_with_already_failed_input(self, engine):
+        dead = engine.event()
+        dead.fail(ValueError("pre-failed"))
+        alive = engine.timeout(1.0, value="ok")
+        results = []
+
+        def worker():
+            index, value = yield any_of(engine, [dead, alive])
+            results.append((index, value))
+
+        engine.process(worker())
+        engine.run()
+        assert results == [(1, "ok")]
+
+    def test_all_of_late_successes_after_failure_ignored(self, engine):
+        bad = engine.event()
+        good = engine.timeout(3.0, value="late")
+        engine.schedule(1.0, bad.fail, RuntimeError("early"))
+        caught = []
+
+        def worker():
+            try:
+                yield all_of(engine, [bad, good])
+            except RuntimeError as exc:
+                caught.append((engine.now, str(exc)))
+
+        engine.process(worker())
+        engine.run()  # good still fires at 3.0; must not re-trigger
+        assert caught == [(1.0, "early")]
+
+    def test_all_of_with_already_failed_input(self, engine):
+        dead = engine.event()
+        dead.fail(KeyError("gone"))
+        caught = []
+
+        def worker():
+            try:
+                yield all_of(engine, [dead, engine.timeout(1.0)])
+            except KeyError:
+                caught.append(engine.now)
+
+        engine.process(worker())
+        engine.run()
+        assert caught == [0.0]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_schedules(self):
         def build_and_run():

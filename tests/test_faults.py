@@ -1,0 +1,425 @@
+"""Fault injection and recovery: the chaos-testing machinery.
+
+Covers the FaultPlan's deterministic decisions, the transport's
+retransmission loop, stragglers, task retry, the killable-body wrapper,
+crash recovery in both runtimes, the stall watchdog, and the end-to-end
+chaos acceptance criteria (bitwise equality with the fault-free
+reference under a plan injecting every fault class).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.cost import MachineModel
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, NodeCrash, Straggler, killable
+from repro.util.errors import ConfigurationError, StallError, TaskKilled
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: deterministic, seeded, validated
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        a = FaultPlan(master_seed=11, task_fail_prob=0.5, drop_prob=0.2)
+        b = FaultPlan(master_seed=11, task_fail_prob=0.5, drop_prob=0.2)
+        for attempt in range(4):
+            assert a.task_fails("GEMM(3, 1)", attempt) == b.task_fails(
+                "GEMM(3, 1)", attempt
+            )
+            assert a.message_fate("parsec:GEMM", 7, attempt) == b.message_fate(
+                "parsec:GEMM", 7, attempt
+            )
+
+    def test_different_seeds_differ_somewhere(self):
+        a = FaultPlan(master_seed=1, drop_prob=0.5)
+        b = FaultPlan(master_seed=2, drop_prob=0.5)
+        fates_a = [a.message_fate("t", seq, 0) for seq in range(64)]
+        fates_b = [b.message_fate("t", seq, 0) for seq in range(64)]
+        assert fates_a != fates_b
+
+    def test_zero_prob_plan_is_inert(self):
+        plan = FaultPlan(master_seed=3)
+        assert not any(plan.task_fails(f"T({i},)", 0) for i in range(50))
+        assert all(plan.message_fate("t", i, 0) == "ok" for i in range(50))
+
+    def test_task_failures_bounded_by_max_retries(self):
+        plan = FaultPlan(master_seed=5, task_fail_prob=1.0, max_task_retries=3)
+        assert plan.task_fails("X", 0) and plan.task_fails("X", 2)
+        assert not plan.task_fails("X", 3)  # attempt >= max always succeeds
+
+    def test_drops_suppressed_at_max_retransmits(self):
+        plan = FaultPlan(master_seed=5, drop_prob=1.0, max_retransmits=4)
+        assert plan.message_fate("t", 0, 3) == "drop"
+        assert plan.message_fate("t", 0, 4) == "ok"
+
+    def test_backoff_is_exponential(self):
+        plan = FaultPlan(retransmit_timeout_s=1e-5)
+        assert plan.backoff(0) == 1e-5
+        assert plan.backoff(3) == 8e-5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(task_fail_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drop_prob=0.5, delay_prob=0.4, dup_prob=0.2)  # sums > 1
+        with pytest.raises(ConfigurationError):
+            Straggler(node=0, t_start=0.0, t_end=1.0, factor=0.5)  # < 1 speeds up
+        with pytest.raises(ConfigurationError):
+            NodeCrash(node=0, at=-1.0)
+
+    def test_install_faults_rejects_unknown_node(self):
+        cluster = _cluster(n_nodes=2)
+        with pytest.raises(ConfigurationError):
+            cluster.install_faults(FaultPlan(crashes=(NodeCrash(node=7, at=0.0),)))
+
+    def test_install_faults_twice_rejected(self):
+        cluster = _cluster(n_nodes=2)
+        cluster.install_faults(FaultPlan())
+        with pytest.raises(ConfigurationError):
+            cluster.install_faults(FaultPlan())
+
+
+# ----------------------------------------------------------------------
+# transport: drop / delay / dup with retransmission
+# ----------------------------------------------------------------------
+def _cluster(n_nodes=2, cores=1, data_mode=DataMode.SYNTH, machine=None):
+    return Cluster(
+        ClusterConfig(
+            n_nodes=n_nodes,
+            cores_per_node=cores,
+            machine=machine or MachineModel(),
+            data_mode=data_mode,
+            trace_enabled=False,
+        )
+    )
+
+
+class TestTransportFaults:
+    def _delivery_time(self, plan):
+        cluster = _cluster(n_nodes=2)
+        if plan is not None:
+            cluster.install_faults(plan)
+        arrivals = []
+        cluster.network.send(
+            0, 1, 1024.0, "payload", tag="t", on_deliver=lambda m: arrivals.append(
+                (cluster.engine.now, m.payload)
+            )
+        )
+        cluster.run()
+        assert arrivals and arrivals[0][1] == "payload"
+        return arrivals[0][0]
+
+    def test_dropped_message_is_retransmitted_and_arrives(self):
+        clean = self._delivery_time(None)
+        plan = FaultPlan(
+            master_seed=1, drop_prob=1.0, max_retransmits=2, retransmit_timeout_s=1e-5
+        )
+        faulted = self._delivery_time(plan)
+        # two forced drops cost two backoffs (1x + 2x timeout) plus the
+        # extra TX serializations before the third attempt succeeds
+        assert faulted > clean + 3e-5
+
+    def test_drop_counters(self):
+        cluster = _cluster(n_nodes=2)
+        injector = cluster.install_faults(
+            FaultPlan(master_seed=1, drop_prob=1.0, max_retransmits=3)
+        )
+        got = []
+        cluster.network.send(0, 1, 64.0, "x", tag="t", on_deliver=got.append)
+        cluster.run()
+        assert got and injector.report.messages_dropped == 3
+        assert injector.report.retransmits == 3
+        assert injector.report.recovery_overhead_s > 0
+
+    def test_delay_and_dup_preserve_exactly_once(self):
+        cluster = _cluster(n_nodes=2)
+        injector = cluster.install_faults(
+            FaultPlan(master_seed=1, delay_prob=0.5, dup_prob=0.5)
+        )
+        got = []
+        for _ in range(20):
+            cluster.network.send(0, 1, 64.0, "x", tag="t", on_deliver=got.append)
+        cluster.run()
+        assert len(got) == 20  # duplicates discarded by sequence number
+        assert injector.report.messages_delayed > 0
+        assert injector.report.messages_duplicated > 0
+
+    def test_local_messages_bypass_faults(self):
+        cluster = _cluster(n_nodes=2)
+        injector = cluster.install_faults(FaultPlan(master_seed=1, drop_prob=1.0))
+        got = []
+        cluster.network.send(0, 0, 64.0, "x", tag="t", on_deliver=got.append)
+        cluster.run()
+        assert got and injector.report.messages_dropped == 0
+
+
+# ----------------------------------------------------------------------
+# stragglers
+# ----------------------------------------------------------------------
+class TestStragglers:
+    def test_cpu_scale_window(self):
+        cluster = _cluster(n_nodes=2)
+        cluster.install_faults(
+            FaultPlan(stragglers=(Straggler(node=1, t_start=1.0, t_end=2.0, factor=3.0),))
+        )
+        node = cluster.nodes[1]
+        assert node.cpu_scale() == 1.0
+        cluster.run(until=1.5)
+        assert node.cpu_scale() == 3.0
+        assert cluster.nodes[0].cpu_scale() == 1.0
+        cluster.run(until=2.5)
+        assert node.cpu_scale() == 1.0
+
+    def test_straggler_stretches_occupy(self):
+        def busy_until(plan):
+            cluster = _cluster(n_nodes=1)
+            if plan is not None:
+                cluster.install_faults(plan)
+            done = []
+
+            def work():
+                yield from cluster.nodes[0].occupy(1.0)
+                done.append(cluster.engine.now)
+
+            cluster.engine.process(work())
+            cluster.run()
+            return done[0]
+
+        assert busy_until(None) == pytest.approx(1.0)
+        slowed = busy_until(
+            FaultPlan(stragglers=(Straggler(node=0, t_start=0.0, t_end=10.0, factor=2.0),))
+        )
+        assert slowed == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# the killable wrapper
+# ----------------------------------------------------------------------
+class TestKillable:
+    def test_body_completes_when_not_killed(self):
+        engine = Engine()
+        log = []
+
+        def body():
+            yield engine.timeout(1.0)
+            log.append("ran")
+
+        def driver():
+            completed = yield from killable(body(), lambda: False)
+            log.append(completed)
+
+        engine.process(driver())
+        engine.run()
+        assert log == ["ran", True]
+
+    def test_kill_aborts_at_next_yield(self):
+        engine = Engine()
+        dead = [False]
+        log = []
+
+        def body():
+            log.append("start")
+            yield engine.timeout(1.0)
+            log.append("mid")
+            yield engine.timeout(1.0)
+            log.append("never")
+
+        def driver():
+            completed = yield from killable(body(), lambda: dead[0])
+            log.append(completed)
+
+        engine.process(driver())
+        engine.schedule(1.5, dead.__setitem__, 0, True)
+        engine.run()
+        assert "never" not in log
+        assert log[-1] is False
+
+    def test_cleanup_yields_still_driven_after_kill(self):
+        engine = Engine()
+        dead = [False]
+        log = []
+
+        def body():
+            try:
+                yield engine.timeout(1.0)
+                yield engine.timeout(1.0)
+            finally:
+                # mutex-unlock style cleanup that itself costs time
+                yield engine.timeout(0.5)
+                log.append(("cleaned", engine.now))
+
+        def driver():
+            completed = yield from killable(body(), lambda: dead[0])
+            log.append(completed)
+
+        engine.process(driver())
+        engine.schedule(1.25, dead.__setitem__, 0, True)
+        engine.run()
+        # killed at the t=2.0 resume; cleanup runs 2.0 -> 2.5
+        assert log == [("cleaned", 2.5), False]
+
+    def test_body_exception_propagates(self):
+        from repro.util.errors import SimulationError
+
+        engine = Engine()
+
+        def body():
+            yield engine.timeout(1.0)
+            raise ValueError("genuine bug")
+
+        def driver():
+            yield from killable(body(), lambda: False)
+
+        engine.process(driver())
+        with pytest.raises(SimulationError, match="unhandled exception") as excinfo:
+            engine.run()
+        assert "genuine bug" in str(excinfo.value.__cause__)
+
+    def test_body_may_swallow_the_kill(self):
+        engine = Engine()
+        log = []
+
+        def body():
+            try:
+                yield engine.timeout(1.0)
+            except TaskKilled:
+                log.append("caught")
+                return
+
+        def driver():
+            completed = yield from killable(body(), lambda: True)
+            log.append(completed)
+
+        engine.process(driver())
+        engine.run()
+        # the body caught TaskKilled and returned; still counts as killed
+        assert log == ["caught", False]
+
+
+# ----------------------------------------------------------------------
+# runtime-level recovery (tiny REAL workloads)
+# ----------------------------------------------------------------------
+def _fresh_workload(n_nodes=4, cores=2, scale="tiny"):
+    from repro.experiments.calibration import make_cluster, make_workload
+
+    cluster = make_cluster(cores, n_nodes=n_nodes, data_mode=DataMode.REAL)
+    workload = make_workload(cluster, scale=scale, seed=7)
+    return cluster, workload
+
+
+class TestParsecRecovery:
+    def _run(self, plan, variant_name="v4"):
+        from repro.core.executor import run_over_parsec
+        from repro.core.variants import variant_by_name
+
+        cluster, workload = _fresh_workload()
+        workload.i2.array.enable_ordered_accumulation()
+        if plan is not None:
+            cluster.install_faults(plan)
+        run = run_over_parsec(
+            cluster, workload.subroutine, variant_by_name(variant_name)
+        )
+        return workload.i2.flat_values(), run.result
+
+    def test_task_retries_counted_and_harmless(self):
+        reference, _ = self._run(None)
+        plan = FaultPlan(master_seed=9, task_fail_prob=0.3, max_task_retries=5)
+        values, result = self._run(plan)
+        assert result.task_retries > 0
+        assert np.array_equal(values, reference)
+
+    def test_crash_recovery_is_bitwise(self):
+        reference, clean = self._run(None)
+        plan = FaultPlan(
+            master_seed=9,
+            crashes=(NodeCrash(node=1, at=0.4 * clean.execution_time),),
+        )
+        values, result = self._run(plan)
+        assert result.nodes_crashed == 1
+        assert result.tasks_reassigned > 0
+        assert np.array_equal(values, reference)
+
+    def test_crash_with_no_survivors_raises_stall_report(self):
+        from repro.core.executor import run_over_parsec
+        from repro.core.variants import variant_by_name
+
+        cluster, workload = _fresh_workload(n_nodes=1, cores=1)
+        cluster.install_faults(FaultPlan(crashes=(NodeCrash(node=0, at=1e-6),)))
+        with pytest.raises(StallError, match="stalled") as excinfo:
+            run_over_parsec(cluster, workload.subroutine, variant_by_name("v1"))
+        message = str(excinfo.value)
+        assert "alive=False" in message
+        assert "fault report" in message
+        assert excinfo.value.report is not None
+        assert excinfo.value.report.nodes_crashed == 1
+
+
+class TestLegacyRecovery:
+    def _run(self, plan):
+        from repro.legacy.runtime import LegacyRuntime
+
+        cluster, workload = _fresh_workload()
+        workload.i2.array.enable_ordered_accumulation()
+        if plan is not None:
+            cluster.install_faults(plan)
+        result = LegacyRuntime(cluster, workload.ga).execute_subroutine(
+            workload.subroutine
+        )
+        return workload.i2.flat_values(), result
+
+    def test_crash_recovery_reissues_tickets(self):
+        reference, clean = self._run(None)
+        plan = FaultPlan(
+            master_seed=9,
+            crashes=(NodeCrash(node=1, at=0.4 * clean.execution_time),),
+        )
+        values, result = self._run(plan)
+        assert result.ranks_lost > 0
+        assert np.array_equal(values, reference)
+        # every chain is accounted for: executed includes recovered ones
+        assert result.chains_executed == clean.chains_executed
+
+    def test_static_assignment_rejects_crash_plans(self):
+        from repro.legacy.runtime import LegacyConfig, LegacyRuntime
+
+        cluster, workload = _fresh_workload()
+        cluster.install_faults(FaultPlan(crashes=(NodeCrash(node=1, at=1e-5),)))
+        runtime = LegacyRuntime(
+            cluster, workload.ga, LegacyConfig(use_nxtval=False)
+        )
+        with pytest.raises(ConfigurationError, match="use_nxtval"):
+            runtime.execute_subroutine(workload.subroutine)
+
+
+# ----------------------------------------------------------------------
+# the acceptance sweep
+# ----------------------------------------------------------------------
+class TestChaosSweep:
+    def test_tiny_sweep_meets_acceptance_criteria(self):
+        from repro.experiments.chaos import run_chaos
+
+        result = run_chaos(scale="tiny", n_nodes=4, cores_per_node=2)
+        assert len(result.outcomes) == 6  # legacy + v1..v5
+        for outcome in result.outcomes:
+            assert outcome.bitwise_match, outcome.name
+            assert outcome.deterministic, outcome.name
+            assert outcome.faults_recovered, outcome.name
+        # every fault class fired somewhere in the sweep
+        totals = {}
+        for outcome in result.outcomes:
+            for key, value in outcome.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        for key in (
+            "task_retries",
+            "messages_dropped",
+            "messages_delayed",
+            "messages_duplicated",
+            "retransmits",
+            "nodes_crashed",
+        ):
+            assert totals[key] > 0, key
+        assert totals["tasks_reassigned"] + totals["tasks_recomputed"] > 0
+        assert totals["tickets_reissued"] > 0
+        assert totals["chains_recovered"] > 0
