@@ -18,7 +18,7 @@ import pytest
 from benchmarks.conftest import shapes_asserted, write_report
 from repro.analysis.report import format_table
 from repro.core.dtd_port import run_over_dtd
-from repro.core.executor import run_over_parsec
+from repro.core import api
 from repro.core.variants import V5
 from repro.experiments.calibration import make_cluster, make_workload
 
@@ -28,7 +28,7 @@ def test_dtd_vs_ptg_comparison(benchmark, results_dir, scale):
     def run_both():
         cluster = make_cluster(7)
         workload = make_workload(cluster, scale=scale)
-        ptg_run = run_over_parsec(cluster, workload.subroutine, V5)
+        ptg_run = api.run(workload, variant=V5)
 
         cluster = make_cluster(7)
         workload = make_workload(cluster, scale=scale)
@@ -40,8 +40,8 @@ def test_dtd_vs_ptg_comparison(benchmark, results_dir, scale):
         [
             "PTG (v5)",
             f"{ptg_run.execution_time:.3f}",
-            str(ptg_run.result.n_tasks),
-            str(len(ptg_run.result.tasks_per_class)),  # symbolic classes
+            str(ptg_run.n_tasks),
+            str(len(ptg_run.tasks_per_class)),  # symbolic classes
             "0 (symbolic dataflow)",
             "-",
         ],
@@ -74,7 +74,7 @@ def test_dtd_vs_ptg_comparison(benchmark, results_dir, scale):
         return  # smoke run at reduced scale: report only
     # both models execute the same graph competently...
     assert dtd_run.execution_time < 1.5 * ptg_run.execution_time
-    assert dtd_run.n_tasks == ptg_run.result.n_tasks
+    assert dtd_run.n_tasks == ptg_run.n_tasks
     # ...but DTD pays a materialized DAG (roughly one in-edge per
     # non-source task, ~edge-per-task scale) and a serial insertion
     # phase — the paper's Section VI argument

@@ -12,7 +12,7 @@ import pytest
 
 from benchmarks.conftest import shapes_asserted, write_report
 from repro.analysis.report import format_table
-from repro.core.executor import run_over_parsec
+from repro.core import api
 from repro.core.variants import V5
 from repro.experiments.calibration import PAPER_MACHINE, PAPER_NODES, make_workload
 from repro.sim.cluster import Cluster, ClusterConfig, DataMode
@@ -26,11 +26,12 @@ def run_point(cores: int, gpus: int, scale: str) -> float:
             machine=PAPER_MACHINE,
             data_mode=DataMode.SYNTH,
             trace_enabled=False,
+            metrics_enabled=False,
             gpus_per_node=gpus,
         )
     )
     workload = make_workload(cluster, scale=scale)
-    return run_over_parsec(cluster, workload.subroutine, V5).execution_time
+    return api.run(workload, variant=V5).execution_time
 
 
 @pytest.mark.benchmark(group="hybrid")

@@ -9,7 +9,7 @@ simulations, so kernel regressions hurt.
 
 import pytest
 
-from repro.core.executor import run_over_parsec
+from repro.core import api
 from repro.core.inspector import inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.variants import V5
@@ -86,6 +86,6 @@ def test_micro_end_to_end_small_v5(benchmark):
     def run():
         cluster = make_cluster(2, n_nodes=8)
         workload = make_workload(cluster, scale="small")
-        return run_over_parsec(cluster, workload.subroutine, V5).execution_time
+        return api.run(workload, variant=V5).execution_time
 
     assert benchmark(run) > 0

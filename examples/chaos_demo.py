@@ -20,7 +20,7 @@ Run:  python examples/chaos_demo.py
 
 import numpy as np
 
-from repro.core.executor import run_over_parsec
+import repro
 from repro.core.variants import V4
 from repro.ga.runtime import GlobalArrays
 from repro.sim.cluster import Cluster, ClusterConfig, DataMode
@@ -41,8 +41,8 @@ def run_once(plan=None):
     workload.i2.array.enable_ordered_accumulation()
     if plan is not None:
         cluster.install_faults(plan)
-    run = run_over_parsec(cluster, workload.subroutine, V4)
-    return workload.i2.flat_values(), cluster.engine.now, run.result
+    result = repro.run(workload, variant=V4)
+    return workload.i2.flat_values(), cluster.engine.now, result
 
 
 def main() -> None:

@@ -19,7 +19,7 @@ import tempfile
 from repro.analysis.chrome_trace import write_chrome_trace
 from repro.analysis.dag import profile_task_graph
 from repro.analysis.report import format_table
-from repro.core.executor import run_over_parsec
+import repro
 from repro.core.inspector import inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.variants import PAPER_VARIANTS
@@ -71,7 +71,7 @@ def main() -> None:
 
     # export a browsable trace of the winning variant
     cluster, workload = make_setup()
-    run_over_parsec(cluster, workload.subroutine, PAPER_VARIANTS["v5"])
+    repro.run(workload, variant=PAPER_VARIANTS["v5"])
     path = os.path.join(tempfile.gettempdir(), "repro_v5_trace.json")
     write_chrome_trace(cluster.trace, path)
     print(f"\nChrome trace of the v5 run written to {path}")

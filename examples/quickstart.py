@@ -2,38 +2,23 @@
 
 Builds a small beta-carotene-like workload with real data on a
 simulated 8-node cluster, executes it through the legacy NWChem-style
-runtime and through PaRSEC (variant v5), and verifies both produce the
-same correlation energy while PaRSEC finishes faster.
+runtime and through PaRSEC (variant v5) via the unified ``repro.run``
+facade, and verifies both produce the same correlation energy while
+PaRSEC finishes faster.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.executor import run_over_parsec
-from repro.core.variants import V5
-from repro.ga.runtime import GlobalArrays
-from repro.legacy.runtime import LegacyRuntime
-from repro.sim.cluster import Cluster, ClusterConfig, DataMode
-from repro.tce.molecules import small_system
+import repro
 from repro.tce.reference import correlation_energy
-from repro.tce.t2_7 import build_t2_7
-
-
-def make_setup():
-    """A fresh simulated 8-node machine with the t2_7 workload on it."""
-    cluster = Cluster(
-        ClusterConfig(n_nodes=8, cores_per_node=4, data_mode=DataMode.REAL)
-    )
-    ga = GlobalArrays(cluster)
-    workload = build_t2_7(cluster, ga, small_system().orbital_space(), seed=7)
-    return cluster, ga, workload
 
 
 def main() -> None:
+    config = repro.RunConfig(n_nodes=8, cores_per_node=4, seed=7)
+
     # --- the original coarse-grain execution ------------------------
-    cluster, ga, workload = make_setup()
-    print(f"workload: {workload.subroutine.describe()}")
-    legacy = LegacyRuntime(cluster, ga).execute_subroutine(workload.subroutine)
-    legacy_energy = correlation_energy(workload.i2.flat_values())
+    legacy = repro.run("small", runtime="legacy", config=config)
+    legacy_energy = correlation_energy(legacy.output.flat_values())
     print(
         f"legacy (NXTVAL stealing, blocking GETs): "
         f"{legacy.execution_time:.4f}s virtual, "
@@ -41,21 +26,26 @@ def main() -> None:
     )
 
     # --- the same kernel over PaRSEC (variant v5) -------------------
-    cluster, ga, workload = make_setup()
-    run = run_over_parsec(cluster, workload.subroutine, V5)
-    parsec_energy = correlation_energy(workload.i2.flat_values())
+    parsec = repro.run("small", runtime="parsec", variant=repro.V5, config=config)
+    parsec_energy = correlation_energy(parsec.output.flat_values())
     print(
         f"PaRSEC v5 (parallel GEMMs, one SORT, one WRITE): "
-        f"{run.execution_time:.4f}s virtual, {run.result.n_tasks} tasks, "
-        f"{run.result.messages_remote} remote messages"
+        f"{parsec.execution_time:.4f}s virtual, {parsec.n_tasks} tasks, "
+        f"{parsec.messages_remote} remote messages"
     )
+
+    # --- the structured run report -----------------------------------
+    phases = ", ".join(
+        f"{name}={p['virtual_s']:.4f}s" for name, p in parsec.report.phases.items()
+    )
+    print(f"PaRSEC phases (virtual): {phases}")
 
     # --- the paper's correctness check -------------------------------
     print(f"correlation energy (legacy): {legacy_energy:+.15e}")
     print(f"correlation energy (PaRSEC): {parsec_energy:+.15e}")
     rel = abs(parsec_energy - legacy_energy) / abs(legacy_energy)
     print(f"relative difference: {rel:.2e}  (paper: agreement to the 14th digit)")
-    speedup = legacy.execution_time / run.execution_time
+    speedup = legacy.execution_time / parsec.execution_time
     print(f"PaRSEC speedup over legacy on this configuration: {speedup:.2f}x")
 
 

@@ -11,10 +11,9 @@ e.g.  python examples/variant_explorer.py 15 paper
 import sys
 
 from repro.analysis.report import format_table
-from repro.core.executor import run_over_parsec
+import repro
 from repro.core.variants import PAPER_VARIANTS
 from repro.experiments.calibration import make_cluster, make_workload
-from repro.legacy.runtime import LegacyRuntime
 
 
 def main() -> None:
@@ -27,9 +26,7 @@ def main() -> None:
     print(f"workload: {workload.subroutine.describe()}")
     print(f"machine: 32 nodes x {cores} cores/node (+1 comm thread each)\n")
 
-    legacy = LegacyRuntime(cluster, workload.ga).execute_subroutine(
-        workload.subroutine
-    )
+    legacy = repro.run(workload, runtime="legacy")
     rows.append(
         [
             "original",
@@ -42,12 +39,12 @@ def main() -> None:
     for name, variant in sorted(PAPER_VARIANTS.items()):
         cluster = make_cluster(cores)
         workload = make_workload(cluster, scale=scale)
-        run = run_over_parsec(cluster, workload.subroutine, variant)
+        run = repro.run(workload, variant=variant)
         rows.append(
             [
                 name,
                 f"{run.execution_time:.3f}",
-                str(run.result.n_tasks),
+                str(run.n_tasks),
                 variant.describe().split(": ", 1)[1],
             ]
         )

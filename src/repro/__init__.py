@@ -16,22 +16,37 @@ subpackages are the real API surface:
 - :mod:`repro.parsec` — the PTG runtime (and the contrasted DTD model)
 - :mod:`repro.core` — the CCSD-over-PaRSEC port and its five variants
 - :mod:`repro.analysis` — trace metrics and rendering
+- :mod:`repro.obs` — metrics registry and structured run reports
 - :mod:`repro.experiments` — the paper's experiments
+
+The one-call entry point is :func:`repro.run`::
+
+    import repro
+    result = repro.run("tiny", runtime="parsec", variant=repro.V5)
+    print(result.summary())
+    print(result.report.to_json_line())
 """
 
+from repro.core.api import RunConfig, run
 from repro.core.executor import run_over_parsec
 from repro.core.variants import PAPER_VARIANTS, V1, V2, V3, V4, V5, variant_by_name
 from repro.ga.runtime import GlobalArrays
 from repro.legacy.runtime import LegacyRuntime
 from repro.sim.cluster import Cluster, ClusterConfig, DataMode
 from repro.sim.cost import MachineModel
+from repro.obs import MetricsRegistry, RunReport, RunResult
 from repro.tce.molecules import beta_carotene, small_system, system_for_scale, tiny_system
 from repro.tce.t2_7 import build_t2_7
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "run",
+    "RunConfig",
     "run_over_parsec",
+    "MetricsRegistry",
+    "RunReport",
+    "RunResult",
     "PAPER_VARIANTS",
     "V1",
     "V2",

@@ -7,13 +7,26 @@ Subcommands regenerate the paper's artifacts without pytest:
 - ``equivalence`` the Section IV-A 14-digit agreement check
 - ``ablations``   the design-decision sweeps
 - ``chaos``       fault-injection sweep: bitwise recovery check
+- ``report``      run any runtime/variant, emit a structured RunReport
+- ``perf``        fig9-style sweep vs a committed BENCH baseline
 - ``info``        workload/scale/machine summary
+
+Exit codes are uniform across subcommands: ``0`` for success (including
+informational runs at non-paper scales), ``1`` when a declared check
+fails (shape checks at paper scale, equivalence digits, chaos recovery,
+perf regressions), and ``2`` for argparse usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+#: the run completed and every evaluated check passed (or the run was
+#: informational at its scale)
+EXIT_OK = 0
+#: the run completed but a declared check failed
+EXIT_CHECK_FAILED = 1
 
 
 def _add_scale(parser: argparse.ArgumentParser, default: str = "paper") -> None:
@@ -45,8 +58,8 @@ def cmd_fig9(args: argparse.Namespace) -> int:
             "\nnote: the shape checks describe the paper-scale workload; at "
             f"--scale {args.scale} they are informational only."
         )
-        return 0
-    return 1 if failed else 0
+        return EXIT_OK
+    return EXIT_CHECK_FAILED if failed else EXIT_OK
 
 
 def cmd_traces(args: argparse.Namespace) -> int:
@@ -70,7 +83,7 @@ def cmd_traces(args: argparse.Namespace) -> int:
         f"comm/GEMM={comm_vs_gemm_share(original):.2f}x"
     )
     print(original.gantt(width=args.width, max_rows=args.rows))
-    return 0
+    return EXIT_OK
 
 
 def cmd_equivalence(args: argparse.Namespace) -> int:
@@ -81,7 +94,7 @@ def cmd_equivalence(args: argparse.Namespace) -> int:
         print(f"{name:10s} {energy:+.15e}")
     digits = result.agrees_to_digits()
     print(f"agreement: {digits:.1f} digits (paper claims 14)")
-    return 0 if digits >= 13 else 1
+    return EXIT_OK if digits >= 13 else EXIT_CHECK_FAILED
 
 
 def cmd_ablations(args: argparse.Namespace) -> int:
@@ -137,7 +150,7 @@ def cmd_ablations(args: argparse.Namespace) -> int:
             title="Scheduler policy (v4, 7 cores/node)",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -174,7 +187,95 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     print()
     print("ALL OK" if result.all_ok else "FAILURES DETECTED")
-    return 0 if result.all_ok else 1
+    return EXIT_OK if result.all_ok else EXIT_CHECK_FAILED
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run the selected runtimes and emit structured RunReports."""
+    from repro.analysis.run_report import render_run_report
+    from repro.core.api import RunConfig, run
+    from repro.obs.report import write_jsonl
+    from repro.sim.cluster import DataMode
+
+    # REAL data end to end at the small scales (enables the output
+    # checksum); costs-only SYNTH where REAL tensors would not fit
+    data_mode = DataMode.REAL if args.scale in ("tiny", "small") else DataMode.SYNTH
+    config = RunConfig(
+        n_nodes=args.nodes,
+        cores_per_node=args.cores,
+        data_mode=data_mode,
+        trace=not args.no_trace,
+        metrics=True,
+        seed=args.seed,
+    )
+    runtimes = ["legacy", "v5"] if args.runtime == "both" else [args.runtime]
+    reports = []
+    for runtime in runtimes:
+        result = run(args.scale, runtime=runtime, config=config)
+        if result.report is None:
+            print(f"error: {runtime} run produced no report", file=sys.stderr)
+            return EXIT_CHECK_FAILED
+        reports.append(result.report)
+        print(render_run_report(result.report))
+        print()
+    if args.out:
+        path = write_jsonl(reports, args.out)
+        print(f"wrote {len(reports)} report(s) to {path}")
+    else:
+        for report in reports:
+            print(report.to_json_line())
+    return EXIT_OK
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Run the perf sweep, write a BENCH baseline, gate on regressions."""
+    from repro.analysis.report import format_table
+    from repro.experiments.perf import (
+        PerfBaseline,
+        baseline_path,
+        diff_baselines,
+        run_perf,
+    )
+
+    new = run_perf(scale=args.scale)
+    out = args.out or f"BENCH_fig9_{args.scale}.json"
+    written = new.write(out)
+    print(f"wrote {written}")
+    print(
+        format_table(
+            ["code"] + [f"{c} cores" for c in new.core_counts],
+            [
+                [code] + [f"{new.times[code][c]:.6f}" for c in new.core_counts]
+                for code in sorted(new.times)
+            ],
+            title=(
+                f"fig9 perf sweep: scale={new.scale}, {new.n_nodes} nodes "
+                "(virtual seconds)"
+            ),
+        )
+    )
+    baseline_file = args.baseline or baseline_path(args.scale)
+    if args.update_baseline:
+        committed = new.write(baseline_path(args.scale))
+        print(f"updated committed baseline {committed}")
+        return EXIT_OK
+    import os
+
+    if not os.path.exists(baseline_file):
+        print(
+            f"\nno committed baseline at {baseline_file}; skipping the "
+            "regression gate (use --update-baseline to create one)"
+        )
+        return EXIT_OK
+    old = PerfBaseline.read(baseline_file)
+    regressions = diff_baselines(old, new, threshold=args.threshold)
+    print(f"\nbaseline: {baseline_file} (threshold {100 * args.threshold:.0f}%)")
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION {regression.describe()}")
+        return EXIT_CHECK_FAILED
+    print("no regressions")
+    return EXIT_OK
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -191,13 +292,18 @@ def cmd_info(args: argparse.Namespace) -> int:
     workload = make_workload(cluster, scale=args.scale)
     print(f"\nworkload at --scale {args.scale}: {workload.subroutine.describe()}")
     print(f"\ncalibrated machine: {PAPER_MACHINE}")
-    return 0
+    return EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce 'PaRSEC in Practice' (CLUSTER 2015) experiments.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -227,6 +333,48 @@ def main(argv: list[str] | None = None) -> int:
         "--fault-seed", type=int, default=2025, help="master seed of the fault plan"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = subparsers.add_parser(
+        "report", help="run a runtime/variant, emit a structured RunReport"
+    )
+    _add_scale(p, default="tiny")
+    p.add_argument(
+        "--runtime",
+        default="both",
+        choices=["both", "legacy", "original", "parsec", "dtd", "v1", "v2", "v3", "v4", "v5"],
+        help="what to run (default: both = legacy + PaRSEC v5)",
+    )
+    p.add_argument("--nodes", type=int, default=4, help="nodes in the allocation")
+    p.add_argument("--cores", type=int, default=2, help="compute cores per node")
+    p.add_argument("--seed", type=int, default=7, help="workload data seed")
+    p.add_argument("--out", default=None, help="write reports to this JSONL file")
+    p.add_argument(
+        "--no-trace", action="store_true", help="skip tracing (no trace stats)"
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = subparsers.add_parser(
+        "perf", help="fig9-style perf sweep vs committed BENCH baseline"
+    )
+    _add_scale(p, default="tiny")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="regression threshold as a fraction (default: 0.20 = 20%%)",
+    )
+    p.add_argument(
+        "--baseline", default=None, help="baseline JSON to compare against"
+    )
+    p.add_argument(
+        "--out", default=None, help="where to write the fresh BENCH JSON"
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the committed baseline with this sweep",
+    )
+    p.set_defaults(func=cmd_perf)
 
     p = subparsers.add_parser("info", help="workload and machine summary")
     _add_scale(p, default="paper")

@@ -15,8 +15,12 @@ Layers, matching Section III-B and IV of the paper:
   REDUCE, SORT / SORT_I, WRITE_C / WRITE_C_I task classes with the
   dataflow of Figures 1, 2, 4-8 and the priority expression
   ``max_L1 - L1 + offset*P`` of Section IV-C.
+- :mod:`repro.core.api` — the unified :func:`repro.run` facade over
+  every runtime (legacy, PaRSEC v1..v5, DTD) with phase timers and
+  structured run reports.
 - :mod:`repro.core.executor` — run one subroutine over PaRSEC inside
-  the simulated cluster and collect results.
+  the simulated cluster and collect results (deprecated entry point;
+  superseded by the facade).
 - :mod:`repro.core.integration` — the NWChem-level driver that swaps
   the legacy implementation for the PaRSEC one per subroutine, with
   the rest of the program oblivious (Figure 3).
@@ -36,9 +40,12 @@ from repro.core.metadata import Metadata, ChainMeta, GemmMeta
 from repro.core.inspector import inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.executor import CcsdRun, run_over_parsec
+from repro.core.api import RunConfig, run
 from repro.core.integration import NwchemDriver
 
 __all__ = [
+    "RunConfig",
+    "run",
     "PAPER_VARIANTS",
     "VariantSpec",
     "V1",

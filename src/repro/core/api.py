@@ -1,0 +1,167 @@
+"""The unified run facade: one entry point for every runtime.
+
+``repro.run(workload, runtime=..., variant=..., config=RunConfig(...))``
+executes the same workload over the legacy coarse-grain runtime, any of
+the five PaRSEC PTG variants, or the contrasted DTD model, and returns
+a :class:`~repro.obs.result.RunResult` with a uniform shape: virtual
+``execution_time``, ``n_tasks``, ``recovery_counters()``, plus — when
+the cluster's metrics registry is enabled — a ``metrics`` snapshot and
+a structured ``report`` (:class:`~repro.obs.report.RunReport`).
+
+The phase timers instrument the Section III-B pipeline on the virtual
+clock: *inspection* (metadata collection), *ptg_build* (symbolic graph
+construction), *execution*, and *validation* (output checksum in REAL
+data mode). The legacy and DTD paths have no inspector/PTG, so they
+record only *execution* (and *validation*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.inspector import inspect_subroutine
+from repro.core.ptg_build import build_ccsd_ptg
+from repro.core.variants import V5, VariantSpec, variant_by_name
+from repro.ga.runtime import GlobalArrays
+from repro.legacy.runtime import LegacyConfig, LegacyRuntime
+from repro.obs.result import RunResult
+from repro.parsec.runtime import ParsecRuntime
+from repro.sim.cluster import Cluster, ClusterConfig, DataMode
+from repro.sim.cost import MachineModel
+from repro.tce.molecules import system_for_scale
+from repro.tce.t2_7 import T27Workload, build_t2_7
+from repro.util.errors import ConfigurationError
+
+__all__ = ["RunConfig", "run"]
+
+#: ``runtime=`` spellings accepted by :func:`run`, besides "parsec".
+_VARIANT_RUNTIMES = ("v1", "v2", "v3", "v4", "v5")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Cluster shape and execution options for :func:`run`.
+
+    The cluster fields (``n_nodes`` .. ``gpus_per_node``) only apply
+    when the workload is given as a scale name and the facade builds
+    the cluster itself; a pre-built :class:`~repro.tce.t2_7.T27Workload`
+    brings its own cluster and they are ignored.
+    """
+
+    n_nodes: int = 8
+    cores_per_node: int = 4
+    data_mode: DataMode = DataMode.REAL
+    trace: bool = False
+    metrics: bool = True
+    machine: Optional[MachineModel] = None
+    gpus_per_node: int = 0
+    seed: int = 7
+    #: PaRSEC: instantiate-time dataflow validation; REAL mode adds an
+    #: output-checksum validation phase for every runtime.
+    validate: bool = True
+    #: PaRSEC node scheduler discipline (None = priority, the default).
+    policy: Optional[object] = None
+    #: Legacy runtime knobs (NXTVAL vs static assignment).
+    legacy: Optional[LegacyConfig] = None
+
+
+def _build_workload(scale: str, config: RunConfig) -> T27Workload:
+    cluster = Cluster(
+        ClusterConfig(
+            n_nodes=config.n_nodes,
+            cores_per_node=config.cores_per_node,
+            machine=config.machine or MachineModel(),
+            data_mode=config.data_mode,
+            trace_enabled=config.trace,
+            metrics_enabled=config.metrics,
+            gpus_per_node=config.gpus_per_node,
+        )
+    )
+    ga = GlobalArrays(cluster)
+    system = system_for_scale(scale)
+    return build_t2_7(cluster, ga, system.orbital_space(), seed=config.seed)
+
+
+def run(
+    workload: Union[str, T27Workload] = "small",
+    runtime: str = "parsec",
+    variant: Union[str, VariantSpec] = V5,
+    config: Optional[RunConfig] = None,
+) -> RunResult:
+    """Execute one workload on one runtime; the single public entry point.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.tce.t2_7.T27Workload` (runs on its own
+        cluster), or a scale name (``"tiny"``, ``"small"``, ``"paper"``)
+        for which a fresh cluster and workload are built from ``config``.
+    runtime:
+        ``"parsec"`` (uses ``variant``), ``"legacy"``/``"original"``,
+        ``"dtd"``, or a variant name ``"v1"``..``"v5"`` as shorthand
+        for PaRSEC with that variant.
+    variant:
+        The PTG variant for the PaRSEC path — a
+        :class:`~repro.core.variants.VariantSpec` or its name.
+    """
+    config = config or RunConfig()
+    name = runtime.lower()
+    if name == "original":
+        name = "legacy"
+    if name in _VARIANT_RUNTIMES:
+        variant = variant_by_name(name)
+        name = "parsec"
+    if isinstance(variant, str):
+        variant = variant_by_name(variant)
+
+    if isinstance(workload, str):
+        scale: Optional[str] = workload
+        workload = _build_workload(workload, config)
+    else:
+        scale = None
+    cluster = workload.cluster
+    metrics = cluster.metrics
+
+    if name == "legacy":
+        lrt = LegacyRuntime(cluster, workload.ga, config.legacy)
+        with metrics.phase("execution"):
+            result: RunResult = lrt.execute_subroutine(workload.subroutine)
+    elif name == "dtd":
+        from repro.core.dtd_port import run_over_dtd
+
+        with metrics.phase("execution"):
+            result = run_over_dtd(cluster, workload.subroutine)
+    elif name == "parsec":
+        with metrics.phase("inspection"):
+            metadata = inspect_subroutine(workload.subroutine, cluster, variant)
+        with metrics.phase("ptg_build"):
+            ptg = build_ccsd_ptg(variant, metadata)
+        prt = ParsecRuntime(cluster, policy=config.policy)
+        with metrics.phase("execution"):
+            result = prt.execute(ptg, metadata, validate=config.validate)
+        result.variant = variant.name
+    else:
+        raise ConfigurationError(
+            f"unknown runtime {runtime!r}: expected 'parsec', 'legacy', "
+            f"'dtd', or one of {_VARIANT_RUNTIMES}"
+        )
+
+    if config.validate and metrics.enabled and cluster.data_mode is DataMode.REAL:
+        with metrics.phase("validation"):
+            checksum = float(workload.i2.flat_values().sum())
+        metrics.gauge_set("run.output_checksum", checksum)
+
+    result.output = workload.i2
+    if metrics.enabled:
+        from repro.analysis.run_report import build_run_report
+
+        result.metrics = metrics.snapshot()
+        result.report = build_run_report(
+            result,
+            cluster,
+            workload=workload.subroutine.name,
+            scale=scale,
+            seed=workload.seed,
+        )
+    return result

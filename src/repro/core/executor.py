@@ -1,7 +1,13 @@
-"""Running one subroutine over PaRSEC inside the simulated cluster."""
+"""Running one subroutine over PaRSEC inside the simulated cluster.
+
+Deprecated entry point: :func:`run_over_parsec` predates the unified
+facade and is kept as a thin shim; new code should call
+:func:`repro.run` (see :mod:`repro.core.api`).
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.inspector import inspect_subroutine
@@ -35,6 +41,26 @@ class CcsdRun:
         )
 
 
+def _run_over_parsec(
+    cluster: Cluster,
+    subroutine: Subroutine,
+    variant: VariantSpec,
+    validate: bool = True,
+    policy=None,
+) -> CcsdRun:
+    """The Section III-B pipeline: inspection phase → metadata arrays →
+    PTG execution → control returns to the caller (with the output
+    already accumulated in the i2 Global Array). ``policy`` selects the
+    node scheduler discipline (default: the priority-aware scheduler
+    the paper's experiments use)."""
+    metadata = inspect_subroutine(subroutine, cluster, variant)
+    ptg = build_ccsd_ptg(variant, metadata)
+    runtime = ParsecRuntime(cluster, policy=policy)
+    result = runtime.execute(ptg, metadata, validate=validate)
+    result.variant = variant.name
+    return CcsdRun(variant=variant, result=result, metadata=metadata)
+
+
 def run_over_parsec(
     cluster: Cluster,
     subroutine: Subroutine,
@@ -42,16 +68,19 @@ def run_over_parsec(
     validate: bool = True,
     policy=None,
 ) -> CcsdRun:
-    """Inspect, build the variant's PTG, execute, and collect results.
+    """Deprecated shim over the unified facade.
 
-    This is the whole Section III-B pipeline: inspection phase →
-    metadata arrays → PTG execution → control returns to the caller
-    (with the output already accumulated in the i2 Global Array).
-    ``policy`` selects the node scheduler discipline (default: the
-    priority-aware scheduler the paper's experiments use).
+    Use ``repro.run(workload, runtime="parsec", variant=...)`` instead;
+    it covers all runtimes and returns a uniform
+    :class:`~repro.obs.result.RunResult` with metrics and a structured
+    report attached.
     """
-    metadata = inspect_subroutine(subroutine, cluster, variant)
-    ptg = build_ccsd_ptg(variant, metadata)
-    runtime = ParsecRuntime(cluster, policy=policy)
-    result = runtime.execute(ptg, metadata, validate=validate)
-    return CcsdRun(variant=variant, result=result, metadata=metadata)
+    warnings.warn(
+        "run_over_parsec() is deprecated; use repro.run(workload, "
+        "runtime='parsec', variant=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_over_parsec(
+        cluster, subroutine, variant, validate=validate, policy=policy
+    )

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.core.executor import run_over_parsec
 from repro.core.inspector import inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.variants import V5, VariantSpec

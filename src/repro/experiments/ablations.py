@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.executor import run_over_parsec
+from repro.core import api
+from repro.core.api import RunConfig
 from repro.core.variants import V4, V5, VariantSpec
 from repro.experiments.calibration import PAPER_NODES, make_cluster, make_workload
 from repro.legacy.runtime import LegacyConfig, LegacyRuntime
@@ -41,7 +42,7 @@ def _variant_time(
 ) -> float:
     cluster = make_cluster(cores_per_node, n_nodes=n_nodes, machine=machine)
     workload = make_workload(cluster, scale=scale)
-    return run_over_parsec(cluster, workload.subroutine, variant).execution_time
+    return api.run(workload, variant=variant).execution_time
 
 
 def sweep_priority_offsets(
@@ -127,7 +128,7 @@ def compare_scheduler_policies(
     for policy in SchedulerPolicy:
         cluster = make_cluster(cores_per_node, n_nodes=n_nodes)
         workload = make_workload(cluster, scale=scale)
-        run = run_over_parsec(cluster, workload.subroutine, V4, policy=policy)
+        run = api.run(workload, variant=V4, config=RunConfig(policy=policy))
         out[policy.value] = run.execution_time
     return out
 

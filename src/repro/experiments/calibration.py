@@ -88,8 +88,14 @@ def make_cluster(
     data_mode: DataMode = DataMode.SYNTH,
     trace_enabled: bool = False,
     machine: MachineModel | None = None,
+    metrics_enabled: bool = False,
 ) -> Cluster:
-    """A fresh simulated allocation with the calibrated machine."""
+    """A fresh simulated allocation with the calibrated machine.
+
+    Metrics default *off* here (unlike :class:`ClusterConfig`): the big
+    SYNTH sweeps only need end-to-end times, and the disabled registry
+    is a no-op on every hot path.
+    """
     return Cluster(
         ClusterConfig(
             n_nodes=n_nodes,
@@ -97,6 +103,7 @@ def make_cluster(
             machine=machine or PAPER_MACHINE,
             data_mode=data_mode,
             trace_enabled=trace_enabled,
+            metrics_enabled=metrics_enabled,
         )
     )
 

@@ -25,7 +25,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.core.executor import run_over_parsec
+from repro.core import api
 from repro.core.variants import PAPER_VARIANTS, variant_by_name
 from repro.experiments.calibration import make_cluster, make_workload
 from repro.legacy.runtime import LegacyRuntime
@@ -125,7 +125,7 @@ def run_chaos(
         if variant is None:
             LegacyRuntime(cluster, workload.ga).execute_subroutine(workload.subroutine)
         else:
-            run_over_parsec(cluster, workload.subroutine, variant)
+            api.run(workload, variant=variant)
         counters = asdict(cluster.faults.report) if cluster.faults else {}
         return workload.i2.flat_values(), cluster.engine.now, counters
 

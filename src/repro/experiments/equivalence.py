@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.executor import run_over_parsec
-from repro.core.variants import PAPER_VARIANTS, variant_by_name
+from repro.core import api
+from repro.core.variants import PAPER_VARIANTS
 from repro.experiments.calibration import make_cluster, make_workload
-from repro.legacy.runtime import LegacyRuntime
 from repro.sim.cluster import DataMode
 from repro.tce.reference import compute_reference, correlation_energy
 
@@ -55,12 +54,12 @@ def run_equivalence(
     energies["reference"] = correlation_energy(compute_reference(workload))
 
     cluster, workload = fresh()
-    LegacyRuntime(cluster, workload.ga).execute_subroutine(workload.subroutine)
+    api.run(workload, runtime="original")
     energies["original"] = correlation_energy(workload.i2.flat_values())
 
     for name in sorted(PAPER_VARIANTS):
         cluster, workload = fresh()
-        run_over_parsec(cluster, workload.subroutine, variant_by_name(name))
+        api.run(workload, runtime=name)
         energies[name] = correlation_energy(workload.i2.flat_values())
 
     values = list(energies.values())

@@ -18,15 +18,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.report import format_fig9_table, format_table
-from repro.core.executor import run_over_parsec
-from repro.core.variants import PAPER_VARIANTS, variant_by_name
+from repro.core import api
 from repro.experiments.calibration import (
     CORE_COUNTS,
     PAPER_NODES,
     make_cluster,
     make_workload,
 )
-from repro.legacy.runtime import LegacyRuntime
 from repro.sim.cost import MachineModel
 
 __all__ = ["Fig9Result", "ShapeCheck", "run_point", "run_fig9", "fig9_shape_checks"]
@@ -132,13 +130,7 @@ def run_point(
     """One cell of Figure 9: a fresh cluster, workload, and execution."""
     cluster = make_cluster(cores_per_node, n_nodes=n_nodes, machine=machine)
     workload = make_workload(cluster, scale=scale, seed=seed)
-    if code == "original":
-        result = LegacyRuntime(cluster, workload.ga).execute_subroutine(
-            workload.subroutine
-        )
-        return result.execution_time
-    run = run_over_parsec(cluster, workload.subroutine, variant_by_name(code))
-    return run.execution_time
+    return api.run(workload, runtime=code).execution_time
 
 
 def run_fig9(

@@ -1,0 +1,169 @@
+"""Performance baselines: the Figure 9 sweep as a regression gate.
+
+:func:`run_perf` executes the fig9-style sweep (every code at every
+core count, SYNTH data, metrics off) at a named scale and packages the
+virtual execution times into a :class:`PerfBaseline`. Baselines are
+written as ``BENCH_fig9_<scale>.json`` and the committed copies live in
+``benchmarks/baselines/``; :func:`diff_baselines` compares a fresh
+sweep against a committed file and flags any cell that got slower by
+more than a configurable threshold.
+
+The times are *virtual* seconds of the deterministic simulation, so on
+an unchanged tree a re-run reproduces the committed baseline exactly;
+a diff always reflects a behavioural change in the simulator or the
+runtimes, never host noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.calibration import CORE_COUNTS, PAPER_NODES
+from repro.experiments.fig9 import CODES, run_fig9
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_THRESHOLD",
+    "PERF_PRESETS",
+    "PerfBaseline",
+    "Regression",
+    "baseline_path",
+    "default_baseline_dir",
+    "diff_baselines",
+    "run_perf",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: a cell counts as a regression when new > old * (1 + threshold)
+DEFAULT_THRESHOLD = 0.20
+
+#: per-scale sweep shapes; tiny/small shrink the grid so the gate is
+#: cheap enough for CI, paper/full run the real Figure 9 axis
+PERF_PRESETS: dict[str, dict] = {
+    "tiny": {"n_nodes": 4, "core_counts": (1, 2, 4)},
+    "small": {"n_nodes": 8, "core_counts": (1, 3, 7)},
+    "paper": {"n_nodes": PAPER_NODES, "core_counts": CORE_COUNTS},
+    "full": {"n_nodes": PAPER_NODES, "core_counts": CORE_COUNTS},
+}
+
+
+@dataclass
+class PerfBaseline:
+    """One full sweep's virtual times, serializable as BENCH JSON."""
+
+    scale: str
+    n_nodes: int
+    core_counts: tuple[int, ...]
+    #: code -> cores/node -> virtual seconds
+    times: dict[str, dict[int, float]] = field(default_factory=dict)
+    schema: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "scale": self.scale,
+            "n_nodes": self.n_nodes,
+            "core_counts": list(self.core_counts),
+            "times": {
+                code: {str(cores): t for cores, t in sorted(series.items())}
+                for code, series in sorted(self.times.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerfBaseline":
+        return cls(
+            scale=d["scale"],
+            n_nodes=d["n_nodes"],
+            core_counts=tuple(d["core_counts"]),
+            times={
+                code: {int(cores): float(t) for cores, t in series.items()}
+                for code, series in d["times"].items()
+            },
+            schema=d.get("schema", BENCH_SCHEMA_VERSION),
+        )
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path) -> "PerfBaseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One sweep cell that got slower past the threshold."""
+
+    code: str
+    cores: int
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new / self.old if self.old else float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"{self.code}@{self.cores}c: {self.old:.6f}s -> {self.new:.6f}s "
+            f"({100 * (self.ratio - 1):+.1f}%)"
+        )
+
+
+def default_baseline_dir() -> Path:
+    """``benchmarks/baselines/`` at the repository root (may not exist)."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "baselines"
+
+
+def baseline_path(scale: str, root=None) -> Path:
+    root = Path(root) if root is not None else default_baseline_dir()
+    return root / f"BENCH_fig9_{scale}.json"
+
+
+def run_perf(
+    scale: str = "tiny",
+    codes: Sequence[str] = CODES,
+    n_nodes: Optional[int] = None,
+    core_counts: Optional[Sequence[int]] = None,
+) -> PerfBaseline:
+    """Run the fig9-style sweep at a scale's preset grid."""
+    preset = PERF_PRESETS.get(scale, PERF_PRESETS["tiny"])
+    n_nodes = n_nodes if n_nodes is not None else preset["n_nodes"]
+    core_counts = tuple(core_counts if core_counts is not None else preset["core_counts"])
+    result = run_fig9(scale=scale, core_counts=core_counts, codes=codes, n_nodes=n_nodes)
+    return PerfBaseline(
+        scale=scale,
+        n_nodes=n_nodes,
+        core_counts=core_counts,
+        times=result.times,
+    )
+
+
+def diff_baselines(
+    old: PerfBaseline, new: PerfBaseline, threshold: float = DEFAULT_THRESHOLD
+) -> list[Regression]:
+    """Cells of ``new`` slower than ``old`` by more than ``threshold``.
+
+    Only cells present in both baselines are compared, so growing the
+    grid does not spuriously fail the gate.
+    """
+    regressions: list[Regression] = []
+    for code in sorted(old.times):
+        new_series = new.times.get(code)
+        if new_series is None:
+            continue
+        for cores, old_time in sorted(old.times[code].items()):
+            new_time = new_series.get(cores)
+            if new_time is None:
+                continue
+            if new_time > old_time * (1.0 + threshold):
+                regressions.append(Regression(code, cores, old_time, new_time))
+    return regressions

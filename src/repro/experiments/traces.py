@@ -27,7 +27,7 @@ from repro.analysis.metrics import (
     comm_compute_overlap,
     startup_idle_fraction,
 )
-from repro.core.executor import run_over_parsec
+from repro.core import api
 from repro.core.variants import V2, V4
 from repro.experiments.calibration import PAPER_NODES, make_cluster, make_workload
 from repro.legacy.runtime import LegacyRuntime
@@ -62,7 +62,7 @@ class TraceExperiment:
 def _run_variant(variant, scale: str, n_nodes: int) -> TraceExperiment:
     cluster = make_cluster(TRACE_CORES, n_nodes=n_nodes, trace_enabled=True)
     workload = make_workload(cluster, scale=scale)
-    run = run_over_parsec(cluster, workload.subroutine, variant)
+    run = api.run(workload, variant=variant)
     return TraceExperiment(
         name=f"trace of {variant.name} ({variant.describe()})",
         execution_time=run.execution_time,

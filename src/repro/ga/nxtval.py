@@ -36,6 +36,7 @@ class NxtvalServer:
         self.ga = ga_runtime
         self.engine = ga_runtime.engine
         self.machine = ga_runtime.machine
+        self.metrics = ga_runtime.cluster.metrics
         self.home_node = home_node
         self.inbox_name = f"ga.nxtval#{next(_instance_ids)}"
         self._counter = 0
@@ -64,6 +65,8 @@ class NxtvalServer:
         """
         self._reissued.append(ticket)
         self.tickets_reissued += 1
+        if self.metrics.enabled:
+            self.metrics.inc("nxtval.reissued")
 
     @property
     def value(self) -> int:
@@ -77,6 +80,8 @@ class NxtvalServer:
         round trip and the (possibly queued) service at the home node.
         """
         self.total_requests += 1
+        if self.metrics.enabled:
+            self.metrics.inc("nxtval.requests")
         yield self.engine.timeout(self.machine.nxtval_issue_s)
         reply: SimEvent = self.engine.event()
         self.ga.cluster.network.send(

@@ -71,6 +71,7 @@ class GlobalArrays:
         self.cluster = cluster
         self.engine = cluster.engine
         self.machine = cluster.machine
+        self.metrics = cluster.metrics
         self._handles = itertools.count(1)
         self._arrays: dict[str, GlobalArray] = {}
         for node in cluster.nodes:
@@ -120,6 +121,10 @@ class GlobalArrays:
         self.gets += 1
         nbytes = array.nbytes(lo, hi)
         self.bytes_fetched += nbytes
+        if self.metrics.enabled:
+            self.metrics.inc("ga.gets")
+            self.metrics.inc("ga.get_bytes", nbytes)
+            self.metrics.observe("ga.request_bytes", nbytes, op="get")
         events = []
         for segment in segments:
             event = self.engine.event()
@@ -172,6 +177,10 @@ class GlobalArrays:
         self.accs += 1
         nbytes = array.nbytes(lo, hi)
         self.bytes_accumulated += nbytes
+        if self.metrics.enabled:
+            self.metrics.inc("ga.accs")
+            self.metrics.inc("ga.acc_bytes", nbytes)
+            self.metrics.observe("ga.request_bytes", nbytes, op="acc")
         if nbytes > 0:
             # read the outgoing buffer from requester memory
             yield self.cluster.nodes[requester].membw.transfer(nbytes)

@@ -29,6 +29,7 @@ from typing import Optional
 from repro.ga.nxtval import NxtvalServer
 from repro.ga.sync import Barrier
 from repro.legacy.chain_exec import execute_chain
+from repro.obs.result import RunResult
 from repro.sim.cluster import Cluster
 from repro.sim.faults import killable
 from repro.sim.trace import TaskCategory
@@ -50,7 +51,7 @@ class LegacyConfig:
 
 
 @dataclass
-class LegacyResult:
+class LegacyResult(RunResult):
     """Outcome of one legacy execution."""
 
     execution_time: float
@@ -66,6 +67,23 @@ class LegacyResult:
     tickets_reissued: int = 0
     ranks_lost: int = 0
     recovery_overhead_s: float = 0.0
+
+    _recovery_fields = (
+        "task_retries",
+        "chains_recovered",
+        "tickets_reissued",
+        "ranks_lost",
+        "recovery_overhead_s",
+    )
+
+    @property
+    def n_tasks(self) -> int:
+        """The legacy unit of work is one whole chain."""
+        return self.chains_executed
+
+    @property
+    def runtime_name(self) -> str:
+        return "legacy"
 
 
 class LegacyRuntime:
@@ -190,6 +208,12 @@ class LegacyRuntime:
                     )
             t_start = self.cluster.engine.now
             yield from barrier.arrive()
+            metrics = self.cluster.metrics
+            if metrics.enabled:
+                metrics.inc("legacy.barrier_waits")
+                metrics.observe(
+                    "legacy.barrier_wait_s", self.cluster.engine.now - t_start
+                )
             node.trace.record(
                 node.node_id,
                 thread,
@@ -271,6 +295,10 @@ class LegacyRuntime:
         if completed:
             result.chains_executed += 1
             result.chains_per_rank[key] += 1
+            metrics = self.cluster.metrics
+            if metrics.enabled:
+                metrics.inc("legacy.chains_executed")
+                metrics.inc("legacy.chain_gemms", len(chain.gemms))
             if recovering:
                 faults.report.chains_recovered += 1
         return completed

@@ -1,0 +1,88 @@
+"""Structured, schema-versioned run reports (JSONL).
+
+A :class:`RunReport` is the machine-readable record of one execution:
+which workload ran where, how long it took (virtual seconds), the full
+metrics snapshot, phase timings, trace-derived statistics, and recovery
+counters. One report serializes to one JSON line, so a file of runs is
+a JSONL stream that ``python -m repro report`` emits and any tooling
+can consume.
+
+Determinism contract: every field is derived from the simulation's
+virtual clock and counters — no wall-clock times, host names, or
+process ids — so identical seeds produce byte-identical report lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+__all__ = ["RUN_REPORT_SCHEMA_VERSION", "RunReport", "read_jsonl", "write_jsonl"]
+
+#: Bump when the serialized field set changes shape incompatibly.
+RUN_REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunReport:
+    """One run, fully described. ``schema`` pins the serialized shape."""
+
+    runtime: str                 # 'legacy' | 'parsec' | 'dtd'
+    workload: str                # e.g. 'icsd_t2_7'
+    execution_time: float        # virtual seconds
+    n_tasks: int
+    variant: Optional[str] = None        # 'v1'..'v5' for PaRSEC runs
+    scale: Optional[str] = None          # preset name, when known
+    n_nodes: int = 0
+    cores_per_node: int = 0
+    data_mode: str = ""
+    seed: Optional[int] = None
+    #: phase timers: {name: {'virtual_s': float, 'count': int}}
+    phases: dict = field(default_factory=dict)
+    #: full MetricsRegistry snapshot (counters/gauges/histograms)
+    metrics: dict = field(default_factory=dict)
+    #: trace-derived statistics (startup idle, overlap, ...) — empty
+    #: when the run was not traced
+    trace_stats: dict = field(default_factory=dict)
+    #: nonzero only under an installed fault plan
+    recovery: dict = field(default_factory=dict)
+    #: free-form extras (checksums, runtime-specific counters)
+    extra: dict = field(default_factory=dict)
+    schema: int = RUN_REPORT_SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json_line(self) -> str:
+        """One compact, key-sorted JSON line (no trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "RunReport":
+        return cls.from_dict(json.loads(line))
+
+
+def write_jsonl(reports: Iterable[RunReport], path: Union[str, Path]) -> Path:
+    """Write one report per line; returns the path."""
+    path = Path(path)
+    path.write_text(
+        "".join(report.to_json_line() + "\n" for report in reports)
+    )
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> list[RunReport]:
+    """Inverse of :func:`write_jsonl` (blank lines skipped)."""
+    reports = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            reports.append(RunReport.from_json_line(line))
+    return reports

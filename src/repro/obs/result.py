@@ -1,0 +1,56 @@
+"""The common run-result protocol shared by every runtime.
+
+:class:`~repro.parsec.runtime.ParsecResult`,
+:class:`~repro.legacy.runtime.LegacyResult`, and
+:class:`~repro.parsec.dtd.DtdResult` all inherit :class:`RunResult`, so
+``repro.experiments`` and ``repro.analysis`` can consume any runtime's
+outcome through one surface:
+
+- ``execution_time`` — virtual seconds (a dataclass field everywhere);
+- ``n_tasks`` — task/work-unit count (field or property per runtime);
+- ``recovery_counters()`` — the nonzero-under-faults counters, as a
+  dict keyed by counter name;
+- ``metrics`` / ``report`` / ``output`` — the run's metrics snapshot,
+  its :class:`~repro.obs.report.RunReport`, and the output tensor
+  handle, attached by the :func:`repro.run` facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["RunResult"]
+
+
+class RunResult:
+    """Base/protocol for runtime results (not itself a dataclass).
+
+    Subclasses are dataclasses that provide ``execution_time`` and
+    ``n_tasks`` and list their fault-recovery fields in
+    ``_recovery_fields``.
+    """
+
+    #: names of the subclass's recovery-counter fields
+    _recovery_fields: tuple[str, ...] = ()
+
+    # attached by the repro.run() facade (class-level defaults so
+    # results produced by lower-level entry points still conform)
+    metrics: Optional[dict] = None
+    report: Optional[Any] = None
+    output: Optional[Any] = None
+
+    @property
+    def runtime_name(self) -> str:
+        """Short runtime identifier derived from the result type."""
+        return type(self).__name__.removesuffix("Result").lower()
+
+    def recovery_counters(self) -> dict[str, float]:
+        """The fault-recovery counters, keyed by field name."""
+        return {name: getattr(self, name) for name in self._recovery_fields}
+
+    def summary(self) -> str:
+        """One human line: runtime, task count, virtual time."""
+        return (
+            f"{self.runtime_name}: {self.n_tasks} tasks in "
+            f"{self.execution_time:.4f}s (virtual)"
+        )

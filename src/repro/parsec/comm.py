@@ -92,6 +92,10 @@ class CommThread:
                 consumer_node = runtime.graph.instances[consumer_key].node
                 runtime.bytes_remote += size_bytes
                 runtime.messages_remote += 1
+                metrics = runtime.cluster.metrics
+                if metrics.enabled:
+                    metrics.inc("parsec.messages_remote")
+                    metrics.inc("parsec.bytes_remote", size_bytes)
                 network.send(
                     self.node.node_id,
                     consumer_node,

@@ -32,6 +32,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs.result import RunResult
 from repro.sim.cluster import Cluster
 from repro.sim.engine import SimEvent
 from repro.sim.network import Message
@@ -139,7 +140,7 @@ class DtdContext:
 
 
 @dataclass
-class DtdResult:
+class DtdResult(RunResult):
     """Execution outcome plus the DTD model's bookkeeping costs."""
 
     execution_time: float
@@ -148,6 +149,10 @@ class DtdResult:
     insertion_time: float  # virtual serial time the skeleton spent
     messages_remote: int = 0
     bytes_remote: float = 0.0
+
+    @property
+    def runtime_name(self) -> str:
+        return "dtd"
 
 
 class DtdRuntime:

@@ -34,6 +34,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.obs.result import RunResult
 from repro.parsec.comm import CommThread
 from repro.parsec.ptg import PTG, TaskGraph
 from repro.parsec.scheduler import NodeScheduler
@@ -46,7 +47,7 @@ __all__ = ["ParsecRuntime", "ParsecResult"]
 
 
 @dataclass
-class ParsecResult:
+class ParsecResult(RunResult):
     """Outcome of one PTG execution."""
 
     execution_time: float
@@ -62,6 +63,21 @@ class ParsecResult:
     tasks_reassigned: int = 0
     nodes_crashed: int = 0
     recovery_overhead_s: float = 0.0
+    #: which PTG variant ran ('v1'..'v5'), when known
+    variant: Optional[str] = None
+
+    _recovery_fields = (
+        "task_retries",
+        "retransmits",
+        "tasks_recomputed",
+        "tasks_reassigned",
+        "nodes_crashed",
+        "recovery_overhead_s",
+    )
+
+    @property
+    def runtime_name(self) -> str:
+        return "parsec"
 
 
 _instance_ids = itertools.count()
@@ -281,5 +297,8 @@ class ParsecRuntime:
     ) -> None:
         consumer = self.graph.instances[consumer_key]
         self.deliveries_local += 1
+        metrics = self.cluster.metrics
+        if metrics.enabled:
+            metrics.inc("parsec.deliveries_local")
         if consumer.receive(flow, data, tag=tag):
             self.schedulers[consumer.node].enqueue(consumer)

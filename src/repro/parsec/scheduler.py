@@ -63,6 +63,7 @@ class NodeScheduler:
         self.runtime = runtime
         self.node = node
         self.engine = runtime.cluster.engine
+        self.metrics = runtime.cluster.metrics
         self.policy = policy
         self.n_gpus = n_gpus
 
@@ -115,6 +116,12 @@ class NodeScheduler:
             queue.put(task, priority=task.priority)
         else:
             queue.put(task)
+        if self.metrics.enabled:
+            self.metrics.inc("sched.enqueued", policy=self.policy.value)
+            self.metrics.observe("sched.task_priority", task.priority)
+            self.metrics.gauge_max(
+                "sched.ready_depth.hwm", len(queue), node=self.node.node_id
+            )
 
     def _retry_gate(self, task: TaskInstance):
         """Generator helper: burn injected transient failures, if any.
@@ -181,6 +188,11 @@ class NodeScheduler:
             )
             task.done = True
             self.tasks_executed += 1
+            if self.metrics.enabled:
+                self.metrics.inc("sched.tasks_executed", cls=task.cls.name)
+                self.metrics.observe(
+                    "sched.task_duration_s", self.engine.now - t_start
+                )
             self.runtime._on_complete(task, context)
             if not node.alive:
                 break
@@ -239,6 +251,8 @@ class NodeScheduler:
             )
             task.done = True
             self.gpu_tasks_executed += 1
+            if self.metrics.enabled:
+                self.metrics.inc("sched.gpu_tasks_executed", cls=task.cls.name)
             self.runtime._on_complete(task, context)
             if not node.alive:
                 break

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.obs.registry import MetricsRegistry
 from repro.sim.cost import MachineModel
 from repro.sim.engine import Engine
 from repro.sim.network import Network
@@ -43,6 +44,10 @@ class ClusterConfig:
     machine: MachineModel = field(default_factory=MachineModel)
     data_mode: DataMode = DataMode.REAL
     trace_enabled: bool = True
+    #: whether the cluster's MetricsRegistry records anything; off for
+    #: the big performance sweeps (emitting is pure bookkeeping, so
+    #: virtual timings are bitwise identical either way)
+    metrics_enabled: bool = True
     #: accelerators per node; device-capable tasks (GEMMs) are
     #: dispatched to GPU workers when > 0
     gpus_per_node: int = 0
@@ -71,6 +76,7 @@ class ClusterConfig:
             machine=self.machine,
             data_mode=self.data_mode,
             trace_enabled=self.trace_enabled,
+            metrics_enabled=self.metrics_enabled,
             gpus_per_node=self.gpus_per_node,
         )
 
@@ -82,7 +88,10 @@ class Cluster:
         self.config = config
         self.engine = Engine()
         self.trace = TraceRecorder(enabled=config.trace_enabled)
-        self.network = Network(self.engine, config.machine)
+        self.metrics = MetricsRegistry(
+            enabled=config.metrics_enabled, clock=lambda: self.engine.now
+        )
+        self.network = Network(self.engine, config.machine, metrics=self.metrics)
         self.nodes: list[Node] = []
         #: the FaultInjector, once install_faults() has been called
         self.faults = None

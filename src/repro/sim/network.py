@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional, TYPE_CHECKING
 
+from repro.obs.registry import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Engine, Process
 from repro.sim.resources import Resource
 from repro.util.errors import SimulationError
@@ -87,9 +88,15 @@ class Network:
     ignore it (PaRSEC's implicit asynchronous transfers).
     """
 
-    def __init__(self, engine: Engine, machine: "MachineModel") -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        machine: "MachineModel",
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
         self.engine = engine
         self.machine = machine
+        self.metrics = metrics
         self._nodes: dict[int, "Node"] = {}
         self._seq = itertools.count()
         #: set by Cluster.install_faults(); message fates apply per
@@ -142,6 +149,13 @@ class Network:
         self.bytes_sent += size_bytes
         if src != dst:
             self.remote_messages += 1
+        if self.metrics.enabled:
+            self.metrics.inc("net.messages")
+            self.metrics.inc("net.bytes", size_bytes)
+            self.metrics.observe("net.message_bytes", size_bytes)
+            if src != dst:
+                self.metrics.inc("net.remote_messages")
+                self.metrics.inc("net.link.bytes", size_bytes, src=src, dst=dst)
         return self.engine.process(
             self._transfer(message, inbox, on_deliver), name=f"xfer:{tag}#{message.seq}"
         )
@@ -149,10 +163,18 @@ class Network:
     def _transfer(self, message: Message, inbox: Optional[str], on_deliver):
         src_node = self.node(message.src)
         dst_node = self.node(message.dst)
+        metrics = self.metrics
         if message.src != message.dst:
             wire = self.machine.wire_time(message.size_bytes)
             attempt = 0
             while True:
+                if metrics.enabled:
+                    metrics.gauge_max(
+                        "nic.backlog.hwm",
+                        src_node.nic.tx_backlog,
+                        node=message.src,
+                        dir="tx",
+                    )
                 yield from src_node.nic.tx.use(wire)
                 fate = "ok"
                 if self.faults is not None:
@@ -165,6 +187,8 @@ class Network:
                     report = self.faults.report
                     report.messages_dropped += 1
                     report.retransmits += 1
+                    if metrics.enabled:
+                        metrics.inc("net.retransmits")
                     backoff = self.faults.plan.backoff(attempt)
                     report.recovery_overhead_s += backoff
                     yield self.engine.timeout(backoff)
@@ -174,6 +198,13 @@ class Network:
                     self.faults.report.messages_delayed += 1
                     yield self.engine.timeout(self.faults.plan.msg_delay_s)
                 yield self.engine.timeout(self.machine.net_latency_s)
+                if metrics.enabled:
+                    metrics.gauge_max(
+                        "nic.backlog.hwm",
+                        dst_node.nic.rx_backlog,
+                        node=message.dst,
+                        dir="rx",
+                    )
                 yield from dst_node.nic.rx.use(wire)
                 if fate == "dup":
                     # the duplicate also crosses the receiver's NIC, then

@@ -1,0 +1,155 @@
+"""Tests of the metrics registry: counters, gauges, histograms, phases."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKET_EDGES, NULL_METRICS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        m = MetricsRegistry()
+        m.inc("x")
+        m.inc("x", 2.5)
+        assert m.counter_value("x") == 3.5
+
+    def test_labels_are_separate_series(self):
+        m = MetricsRegistry()
+        m.inc("bytes", 10, src=0, dst=1)
+        m.inc("bytes", 20, src=1, dst=0)
+        m.inc("bytes", 5, src=0, dst=1)
+        assert m.counter_value("bytes", src=0, dst=1) == 15
+        assert m.counter_value("bytes", src=1, dst=0) == 20
+        assert m.counter_total("bytes") == 35
+
+    def test_label_order_does_not_matter(self):
+        m = MetricsRegistry()
+        m.inc("x", 1, a=1, b=2)
+        m.inc("x", 1, b=2, a=1)
+        assert m.counter_value("x", a=1, b=2) == 2
+
+    def test_missing_counter_reads_zero(self):
+        m = MetricsRegistry()
+        assert m.counter_value("never") == 0.0
+        assert m.counter_total("never") == 0.0
+
+
+class TestGauges:
+    def test_gauge_set_overwrites(self):
+        m = MetricsRegistry()
+        m.gauge_set("depth", 5)
+        m.gauge_set("depth", 2)
+        assert m.gauge_value("depth") == 2
+
+    def test_gauge_max_keeps_high_water_mark(self):
+        m = MetricsRegistry()
+        m.gauge_max("hwm", 3, node=0)
+        m.gauge_max("hwm", 9, node=0)
+        m.gauge_max("hwm", 4, node=0)
+        assert m.gauge_value("hwm", node=0) == 9
+
+
+class TestHistograms:
+    def test_observe_tracks_count_sum_min_max(self):
+        m = MetricsRegistry()
+        for v in (1.0, 10.0, 100.0):
+            m.observe("lat", v)
+        snap = m.snapshot()["histograms"]["lat"]
+        assert snap["count"] == 3
+        assert snap["sum"] == 111.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 100.0
+
+    def test_bucket_assignment_uses_le_edges(self):
+        m = MetricsRegistry()
+        m.observe("v", 0.5, edges=(1.0, 10.0))
+        m.observe("v", 5.0, edges=(1.0, 10.0))
+        m.observe("v", 50.0, edges=(1.0, 10.0))
+        buckets = m.snapshot()["histograms"]["v"]["buckets"]
+        assert buckets["1.0"] == 1
+        assert buckets["10.0"] == 1
+        assert buckets["inf"] == 1
+
+    def test_default_edges_span_nanoseconds_to_terascale(self):
+        assert DEFAULT_BUCKET_EDGES[0] == pytest.approx(1e-9)
+        assert DEFAULT_BUCKET_EDGES[-1] == pytest.approx(1e12)
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        m = MetricsRegistry(enabled=False)
+        m.inc("a")
+        m.gauge_set("b", 1)
+        m.gauge_max("c", 2)
+        m.observe("d", 3.0)
+        with m.phase("p"):
+            pass
+        assert len(m) == 0
+        assert m.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "phases": {},
+        }
+
+    def test_null_metrics_is_disabled(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.inc("x")
+        assert len(NULL_METRICS) == 0
+
+
+class TestPhases:
+    def test_phase_times_on_injected_clock(self):
+        t = [0.0]
+        m = MetricsRegistry(clock=lambda: t[0])
+        m.phase_start("execution")
+        t[0] = 2.5
+        m.phase_end("execution")
+        phases = m.snapshot()["phases"]
+        assert phases["execution"] == {"virtual_s": 2.5, "count": 1}
+
+    def test_phase_context_manager_accumulates(self):
+        t = [0.0]
+        m = MetricsRegistry(clock=lambda: t[0])
+        for dt in (1.0, 3.0):
+            with m.phase("build"):
+                t[0] += dt
+        assert m.snapshot()["phases"]["build"] == {"virtual_s": 4.0, "count": 2}
+
+    def test_double_start_raises(self):
+        m = MetricsRegistry()
+        m.phase_start("p")
+        with pytest.raises(ValueError):
+            m.phase_start("p")
+
+    def test_end_without_start_raises(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.phase_end("p")
+
+
+class TestSnapshot:
+    def test_snapshot_keys_sorted_and_rendered(self):
+        m = MetricsRegistry()
+        m.inc("z.last")
+        m.inc("a.first", 2, node=1, dir="tx")
+        snap = m.snapshot()
+        keys = list(snap["counters"])
+        assert keys == sorted(keys)
+        assert "a.first{dir=tx,node=1}" in keys
+
+    def test_snapshot_identical_for_identical_sequences(self):
+        def build():
+            m = MetricsRegistry()
+            m.inc("c", 1, k="v")
+            m.observe("h", 0.25)
+            m.gauge_max("g", 7)
+            return m.snapshot()
+
+        assert build() == build()
+
+    def test_histogram_edges_fixed_at_first_declaration(self):
+        m = MetricsRegistry()
+        m.observe("h", 1.0, edges=(2.0,))
+        m.observe("h", 10.0, edges=(100.0,))  # ignored: first edges win
+        buckets = m.snapshot()["histograms"]["h"]["buckets"]
+        assert set(buckets) <= {"2.0", "inf"}

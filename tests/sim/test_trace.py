@@ -1,0 +1,63 @@
+"""Tests of the runtime-agnostic TraceRecorder."""
+
+import pytest
+
+from repro.sim.trace import TaskCategory, TraceRecorder
+
+
+def populated() -> TraceRecorder:
+    trace = TraceRecorder()
+    trace.record(0, 0, TaskCategory.GEMM, "GEMM#1", 0.0, 1.0)
+    trace.record(0, 1, TaskCategory.COMM, "GET#1", 0.5, 2.0, meta={"bytes": 4096})
+    trace.record(1, 0, TaskCategory.GEMM, "GEMM#2", 1.0, 3.0)
+    trace.record(1, 0, TaskCategory.WRITE, "WRITE#1", 3.0, 3.5)
+    return trace
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_events_and_meta(self):
+        trace = populated()
+        back = TraceRecorder.from_json(trace.to_json())
+        assert back.events == trace.events
+        assert back.events[1].meta == {"bytes": 4096}
+
+    def test_round_trip_preserves_derived_stats(self):
+        trace = populated()
+        back = TraceRecorder.from_json(trace.to_json())
+        assert back.makespan() == trace.makespan()
+        assert back.total_time_by_category() == trace.total_time_by_category()
+
+
+class TestDisabled:
+    def test_disabled_recorder_is_a_no_op(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0, 0, TaskCategory.GEMM, "GEMM#1", 0.0, 1.0)
+        assert len(trace) == 0
+        assert trace.events == []
+        assert trace.makespan() == 0.0
+
+    def test_negative_span_rejected_when_enabled(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.record(0, 0, TaskCategory.GEMM, "bad", 2.0, 1.0)
+
+
+class TestFiltered:
+    def test_filter_by_category(self):
+        gemms = populated().filtered(category=TaskCategory.GEMM)
+        assert [e.label for e in gemms] == ["GEMM#1", "GEMM#2"]
+
+    def test_filter_by_node(self):
+        assert len(populated().filtered(node=1)) == 2
+
+    def test_combined_criteria(self):
+        trace = populated()
+        hits = trace.filtered(
+            category=TaskCategory.GEMM,
+            node=1,
+            predicate=lambda e: e.duration > 1.0,
+        )
+        assert [e.label for e in hits] == ["GEMM#2"]
+        assert trace.filtered(
+            category=TaskCategory.COMM, node=1
+        ) == []  # COMM only happened on node 0

@@ -1,8 +1,12 @@
 """Tests for the ``python -m repro`` command-line driver."""
 
+import json
+
 import pytest
 
-from repro.__main__ import main
+import repro
+from repro.__main__ import EXIT_CHECK_FAILED, EXIT_OK, main
+from repro.obs import RUN_REPORT_SCHEMA_VERSION, read_jsonl
 
 
 class TestCli:
@@ -31,3 +35,125 @@ class TestCli:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["info", "--scale", "galactic"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_tiny_emits_both_runtimes(self, capsys, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        assert main(["report", "--scale", "tiny", "--out", str(out)]) == EXIT_OK
+        reports = read_jsonl(out)
+        assert [r.runtime for r in reports] == ["legacy", "parsec"]
+        for report in reports:
+            assert report.schema == RUN_REPORT_SCHEMA_VERSION
+            assert report.scale == "tiny"
+            assert report.n_tasks > 0
+            assert report.metrics["counters"], f"no counters from {report.runtime}"
+            assert report.phases["execution"]["virtual_s"] > 0
+            assert report.trace_stats["n_events"] > 0
+        rendered = capsys.readouterr().out
+        assert "Phases" in rendered and "Counters" in rendered
+
+    def test_report_without_out_prints_jsonl(self, capsys):
+        assert main(["report", "--scale", "tiny", "--runtime", "v4"]) == EXIT_OK
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["runtime"] == "parsec"
+        assert parsed["variant"] == "v4"
+
+    def test_report_deterministic_across_invocations(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["report", "--scale", "tiny", "--out", str(a)]) == EXIT_OK
+        assert main(["report", "--scale", "tiny", "--out", str(b)]) == EXIT_OK
+        assert a.read_text() == b.read_text()
+
+
+class TestPerfCommand:
+    def test_perf_writes_baseline_and_passes_against_itself(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_fig9_tiny.json"
+        assert (
+            main(["perf", "--scale", "tiny", "--out", str(out), "--baseline", str(out)])
+            == EXIT_OK
+        )
+        data = json.loads(out.read_text())
+        assert data["schema"] == 1
+        assert data["scale"] == "tiny"
+        assert set(data["times"]) == {"original", "v1", "v2", "v3", "v4", "v5"}
+        # comparing the run against the baseline it just wrote: no diff
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_perf_fails_on_injected_regression(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_new.json"
+        doctored = tmp_path / "BENCH_doctored.json"
+        assert main(["perf", "--scale", "tiny", "--out", str(out)]) in (
+            EXIT_OK,
+        )  # first run only writes
+        data = json.loads(out.read_text())
+        data["times"] = {
+            code: {cores: t * 0.5 for cores, t in series.items()}
+            for code, series in data["times"].items()
+        }
+        doctored.write_text(json.dumps(data))
+        assert (
+            main(
+                [
+                    "perf",
+                    "--scale",
+                    "tiny",
+                    "--out",
+                    str(out),
+                    "--baseline",
+                    str(doctored),
+                ]
+            )
+            == EXIT_CHECK_FAILED
+        )
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_perf_threshold_is_configurable(self, tmp_path):
+        out = tmp_path / "BENCH_new.json"
+        main(["perf", "--scale", "tiny", "--out", str(out)])
+        # an absurdly generous threshold forgives even a 2x slowdown
+        doctored = tmp_path / "BENCH_doctored.json"
+        data = json.loads(out.read_text())
+        data["times"] = {
+            code: {cores: t * 0.5 for cores, t in series.items()}
+            for code, series in data["times"].items()
+        }
+        doctored.write_text(json.dumps(data))
+        assert (
+            main(
+                [
+                    "perf",
+                    "--scale",
+                    "tiny",
+                    "--out",
+                    str(out),
+                    "--baseline",
+                    str(doctored),
+                    "--threshold",
+                    "2.0",
+                ]
+            )
+            == EXIT_OK
+        )
+
+    def test_committed_tiny_baseline_matches_fresh_sweep(self):
+        """The checked-in BENCH file reproduces exactly (virtual times)."""
+        from repro.experiments.perf import PerfBaseline, baseline_path, run_perf
+
+        committed = baseline_path("tiny")
+        assert committed.exists(), "benchmarks/baselines/BENCH_fig9_tiny.json missing"
+        old = PerfBaseline.read(committed)
+        new = run_perf(scale="tiny")
+        assert new.times == old.times

@@ -1,0 +1,137 @@
+"""Tests of the unified ``repro.run`` facade and the RunResult protocol."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.api import RunConfig, run
+from repro.experiments.calibration import make_cluster, make_workload
+from repro.obs import RunReport, RunResult
+from repro.util.errors import ConfigurationError
+
+TINY = RunConfig(n_nodes=4, cores_per_node=2, seed=7)
+
+
+class TestFacadeDispatch:
+    def test_parsec_from_scale_string(self):
+        result = run("tiny", runtime="parsec", variant="v5", config=TINY)
+        assert isinstance(result, RunResult)
+        assert result.runtime_name == "parsec"
+        assert result.variant == "v5"
+        assert result.n_tasks > 0
+        assert result.execution_time > 0
+
+    def test_legacy_and_original_are_synonyms(self):
+        a = run("tiny", runtime="legacy", config=TINY)
+        b = run("tiny", runtime="original", config=TINY)
+        assert a.runtime_name == b.runtime_name == "legacy"
+        assert a.execution_time == b.execution_time
+
+    def test_dtd(self):
+        result = run("tiny", runtime="dtd", config=TINY)
+        assert result.runtime_name == "dtd"
+        assert result.n_tasks > 0
+
+    def test_variant_name_as_runtime_shorthand(self):
+        result = run("tiny", runtime="v3", config=TINY)
+        assert result.runtime_name == "parsec"
+        assert result.variant == "v3"
+
+    def test_prebuilt_workload_uses_its_cluster(self):
+        cluster = make_cluster(2, n_nodes=4, metrics_enabled=True)
+        workload = make_workload(cluster, scale="tiny")
+        result = run(workload, variant=repro.V4)
+        assert result.variant == "v4"
+        assert result.metrics is not None
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run("tiny", runtime="mpi", config=TINY)
+
+
+class TestRunResultProtocol:
+    def test_uniform_surface_across_runtimes(self):
+        for runtime in ("legacy", "parsec", "dtd"):
+            result = run("tiny", runtime=runtime, config=TINY)
+            assert result.execution_time > 0
+            assert result.n_tasks > 0
+            assert isinstance(result.recovery_counters(), dict)
+            assert result.runtime_name in result.summary()
+            assert result.output is not None
+
+    def test_recovery_counters_zero_without_faults(self):
+        result = run("tiny", runtime="parsec", config=TINY)
+        assert set(result.recovery_counters()) == {
+            "task_retries",
+            "retransmits",
+            "tasks_recomputed",
+            "tasks_reassigned",
+            "nodes_crashed",
+            "recovery_overhead_s",
+        }
+        assert all(v == 0 for v in result.recovery_counters().values())
+
+    def test_report_attached_when_metrics_enabled(self):
+        result = run("tiny", runtime="parsec", config=TINY)
+        assert isinstance(result.report, RunReport)
+        assert result.report.runtime == "parsec"
+        assert result.report.phases["execution"]["virtual_s"] > 0
+        assert result.report.phases["inspection"]["count"] == 1
+        assert result.report.phases["ptg_build"]["count"] == 1
+        assert result.report.phases["validation"]["count"] == 1
+        assert result.report.metrics["counters"]
+        assert result.report.recovery["task_retries"] == 0
+
+    def test_no_report_when_metrics_disabled(self):
+        config = RunConfig(n_nodes=4, cores_per_node=2, metrics=False)
+        result = run("tiny", runtime="parsec", config=config)
+        assert result.report is None
+        assert result.metrics is None
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_reports(self):
+        a = run("tiny", runtime="parsec", config=TINY)
+        b = run("tiny", runtime="parsec", config=TINY)
+        assert a.report.to_json_line() == b.report.to_json_line()
+
+    def test_metrics_do_not_change_virtual_time(self):
+        times = {}
+        for enabled in (False, True):
+            config = RunConfig(n_nodes=4, cores_per_node=2, metrics=enabled)
+            times[enabled] = run("tiny", runtime="parsec", config=config).execution_time
+        assert times[False] == times[True]
+
+    def test_legacy_metrics_do_not_change_virtual_time(self):
+        times = {}
+        for enabled in (False, True):
+            config = RunConfig(n_nodes=4, cores_per_node=2, metrics=enabled)
+            times[enabled] = run("tiny", runtime="legacy", config=config).execution_time
+        assert times[False] == times[True]
+
+
+class TestDeprecatedShim:
+    def test_run_over_parsec_warns_and_still_works(self):
+        cluster = make_cluster(2, n_nodes=4, data_mode=repro.DataMode.REAL)
+        workload = make_workload(cluster, scale="tiny")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ccsd_run = repro.run_over_parsec(cluster, workload.subroutine, repro.V5)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert ccsd_run.execution_time > 0
+        assert ccsd_run.result.variant == "v5"
+
+    def test_shim_matches_facade_timing(self):
+        def fresh():
+            cluster = make_cluster(2, n_nodes=4)
+            return make_workload(cluster, scale="tiny")
+
+        facade_time = run(fresh(), variant=repro.V5).execution_time
+        workload = fresh()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim_time = repro.run_over_parsec(
+                workload.cluster, workload.subroutine, repro.V5
+            ).execution_time
+        assert facade_time == shim_time
