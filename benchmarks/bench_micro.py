@@ -39,6 +39,80 @@ def test_micro_engine_event_throughput(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_micro_engine_dispatch_cascade(benchmark):
+    """Zero-delay event cascades: the immediate-lane fast path.
+
+    succeed -> callback -> succeed chains, 50k hops. Before the lane
+    every hop cost a heapq push/pop of a (time, seq, call) tuple; now
+    hops ride a plain FIFO. The committed before/after numbers are in
+    README.md ("Performance"): 0.67 -> 1.28 M events/s (1.9x).
+    """
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def hop(ev):
+            count[0] += 1
+            if count[0] < 50_000:
+                nxt = engine.event()
+                nxt._wait(hop)
+                nxt.succeed(None)
+
+        first = engine.event()
+        first._wait(hop)
+        first.succeed(None)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_store_pingpong(benchmark):
+    """Hot get()-with-item path through a Store (pre-filled producer)."""
+    from repro.sim.queues import Store
+
+    def run():
+        engine = Engine()
+        store = Store(engine)
+        for i in range(25_000):
+            store.put(i)
+        got = [0]
+
+        def consumer():
+            while got[0] < 25_000:
+                ok, _item = store.try_get()
+                if not ok:
+                    yield store.get()
+                else:
+                    yield engine.checkpoint
+                got[0] += 1
+
+        engine.process(consumer())
+        engine.run()
+        return got[0]
+
+    assert benchmark(run) == 25_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_cancelled_timer_churn(benchmark):
+    """Schedule-then-cancel churn: compaction keeps the heap bounded."""
+
+    def run():
+        engine = Engine()
+        peak = 0
+        for i in range(20_000):
+            engine.schedule(1.0 + i, lambda: None).cancel()
+            peak = max(peak, engine.heap_size)
+        engine.run()
+        return peak
+
+    assert benchmark(run) <= 130
+
+
+@pytest.mark.benchmark(group="micro")
 def test_micro_ga_fetch_roundtrips(benchmark):
     """1k blocking one-sided gets against remote owners."""
 

@@ -17,10 +17,10 @@ record only *execution* (and *validation*).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.core.inspector import inspect_subroutine
+from repro.core.inspector import InspectionCache, inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.variants import V5, VariantSpec, variant_by_name
 from repro.ga.runtime import GlobalArrays
@@ -64,6 +64,12 @@ class RunConfig:
     policy: Optional[object] = None
     #: Legacy runtime knobs (NXTVAL vs static assignment).
     legacy: Optional[LegacyConfig] = None
+    #: PaRSEC: share inspected chain metadata across runs of the same
+    #: workload structure + node count (the fig9 cores/node sweep). The
+    #: phase timer still runs; only the redundant chain walk is skipped.
+    inspection_cache: Optional[InspectionCache] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 def _build_workload(scale: str, config: RunConfig) -> T27Workload:
@@ -134,7 +140,9 @@ def run(
             result = run_over_dtd(cluster, workload.subroutine)
     elif name == "parsec":
         with metrics.phase("inspection"):
-            metadata = inspect_subroutine(workload.subroutine, cluster, variant)
+            metadata = inspect_subroutine(
+                workload.subroutine, cluster, variant, cache=config.inspection_cache
+            )
         with metrics.phase("ptg_build"):
             ptg = build_ccsd_ptg(variant, metadata)
         prt = ParsecRuntime(cluster, policy=config.policy)

@@ -31,7 +31,58 @@ from repro.sim.cluster import Cluster
 from repro.tce.subroutine import ChainSpec, Subroutine
 from repro.util.errors import ConfigurationError
 
-__all__ = ["inspect_subroutine"]
+__all__ = ["InspectionCache", "inspect_subroutine"]
+
+
+class InspectionCache:
+    """Memoized chain metadata across sweep points.
+
+    The inspected :class:`ChainMeta` list is pure data: every field is
+    derived from the chain IR, the variant's chain height, and the GA
+    block distribution — and a :class:`~repro.ga.distribution.Distribution`
+    is a pure function of ``(total elements, n_nodes)``. So two runs
+    whose subroutines share a ``structure_token`` and whose clusters
+    share a node count produce *identical* chains for the same variant
+    height, regardless of cores per node. Figure 9's cores/node sweep
+    re-inspects the same workload at every cell; sharing one cache
+    across the sweep skips all but the first inspection per
+    (workload, n_nodes, height) combination.
+
+    The cache never holds :class:`Metadata` itself — that object carries
+    live :class:`GlobalArray` references and must be rebuilt per run.
+    """
+
+    def __init__(self) -> None:
+        self._chains: dict[tuple, list[ChainMeta]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def chains_for(
+        self, subroutine: Subroutine, cluster: Cluster, variant: VariantSpec
+    ) -> list[ChainMeta]:
+        """The inspected chains, computed at most once per cache key."""
+        token = subroutine.structure_token
+        if token is None:  # hand-built subroutine: no safe identity
+            self.misses += 1
+            return [
+                _inspect_chain(chain, cluster, variant)
+                for chain in subroutine.chains
+            ]
+        key = (token, cluster.n_nodes, variant.segment_height)
+        chains = self._chains.get(key)
+        if chains is None:
+            self.misses += 1
+            chains = [
+                _inspect_chain(chain, cluster, variant)
+                for chain in subroutine.chains
+            ]
+            self._chains[key] = chains
+        else:
+            self.hits += 1
+        return chains
 
 
 def _build_segments(n_gemms: int, height: int | None) -> list[SegmentMeta]:
@@ -155,14 +206,26 @@ def _inspect_chain(
 
 
 def inspect_subroutine(
-    subroutine: Subroutine, cluster: Cluster, variant: VariantSpec
+    subroutine: Subroutine,
+    cluster: Cluster,
+    variant: VariantSpec,
+    cache: InspectionCache | None = None,
 ) -> Metadata:
-    """Run the inspection phase; returns the filled metadata arrays."""
+    """Run the inspection phase; returns the filled metadata arrays.
+
+    With ``cache`` given, the chain walk is skipped when an equivalent
+    inspection (same workload structure, node count, and chain height)
+    was already performed; the Metadata wrapper — which holds live
+    array references — is still built fresh for this run's cluster.
+    """
     if not subroutine.chains:
         raise ConfigurationError(f"subroutine {subroutine.name} has no chains")
-    chains = [
-        _inspect_chain(chain, cluster, variant) for chain in subroutine.chains
-    ]
+    if cache is not None:
+        chains = cache.chains_for(subroutine, cluster, variant)
+    else:
+        chains = [
+            _inspect_chain(chain, cluster, variant) for chain in subroutine.chains
+        ]
     first = subroutine.chains[0]
     return Metadata(
         chains=chains,

@@ -126,11 +126,18 @@ def run_point(
     n_nodes: int = PAPER_NODES,
     machine: Optional[MachineModel] = None,
     seed: int = 7,
+    inspection_cache: Optional[api.InspectionCache] = None,
 ) -> float:
-    """One cell of Figure 9: a fresh cluster, workload, and execution."""
+    """One cell of Figure 9: a fresh cluster, workload, and execution.
+
+    ``inspection_cache`` (shared across cells) skips the redundant chain
+    walk when the same workload/node-count was already inspected at a
+    different cores/node setting — virtual timings are unaffected.
+    """
     cluster = make_cluster(cores_per_node, n_nodes=n_nodes, machine=machine)
     workload = make_workload(cluster, scale=scale, seed=seed)
-    return api.run(workload, runtime=code).execution_time
+    config = api.RunConfig(inspection_cache=inspection_cache)
+    return api.run(workload, runtime=code, config=config).execution_time
 
 
 def run_fig9(
@@ -142,11 +149,17 @@ def run_fig9(
 ) -> Fig9Result:
     """The full sweep: every code at every core count."""
     times: dict[str, dict[int, float]] = {}
+    cache = api.InspectionCache()  # one inspection per (variant height, n_nodes)
     for code in codes:
         times[code] = {}
         for cores in core_counts:
             times[code][cores] = run_point(
-                code, cores, scale=scale, n_nodes=n_nodes, machine=machine
+                code,
+                cores,
+                scale=scale,
+                n_nodes=n_nodes,
+                machine=machine,
+                inspection_cache=cache,
             )
     return Fig9Result(
         times=times, core_counts=tuple(core_counts), scale=scale, n_nodes=n_nodes

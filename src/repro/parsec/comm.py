@@ -67,8 +67,15 @@ class CommThread:
         machine = runtime.cluster.machine
         inbox = self.node.inbox(self.inbox_name)
         network = runtime.cluster.network
+        checkpoint = self.engine.checkpoint
         while True:
-            item = yield inbox.get()
+            # seq-neutral fast path: skip the SimEvent when mail is waiting
+            # (see NodeScheduler._worker for the equivalence argument)
+            ok, item = inbox.try_get()
+            if not ok:
+                item = yield inbox.get()
+            else:
+                yield checkpoint
             if isinstance(item, Message):
                 size_bytes = item.size_bytes
             else:

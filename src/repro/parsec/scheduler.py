@@ -95,11 +95,17 @@ class NodeScheduler:
         return depth
 
     def drain(self) -> list[TaskInstance]:
-        """Empty the ready queues; used when this node's compute dies."""
+        """Empty the ready queues; used when this node's compute dies.
+
+        Also abandons any getter events left behind by workers that were
+        blocked on ``get()`` at crash time — otherwise a later ``put()``
+        would hand a task to a corpse and silently lose it.
+        """
         drained: list[TaskInstance] = []
         for store in (self.ready, self.gpu_ready):
             if store is None:
                 continue
+            store.abandon_getters()
             while True:
                 ok, item = store.try_get()
                 if not ok:
@@ -158,8 +164,18 @@ class NodeScheduler:
         cluster = self.runtime.cluster
         machine = cluster.machine
         node = self.node
+        ready = self.ready
+        checkpoint = self.engine.checkpoint
         while True:
-            task: TaskInstance = yield self.ready.get()
+            # Hot path: work already queued. try_get + checkpoint resumes
+            # through the immediate lane without allocating a SimEvent and
+            # consumes exactly one seq — the same as a pre-succeeded get()
+            # — so virtual timings are bitwise unchanged.
+            ok, task = ready.try_get()
+            if not ok:
+                task = yield ready.get()
+            else:
+                yield checkpoint
             if not node.alive:
                 break  # queued work was re-homed by the crash handler
             # per-task runtime bookkeeping (select + dependence checks)
@@ -208,8 +224,14 @@ class NodeScheduler:
         node = self.node
         md = self.runtime.md
         thread = cluster.cores_per_node + 1 + gpu  # +1 skips the comm thread row
+        gpu_ready = self.gpu_ready
+        checkpoint = self.engine.checkpoint
         while True:
-            task: TaskInstance = yield self.gpu_ready.get()
+            ok, task = gpu_ready.try_get()  # see _worker: seq-neutral fast path
+            if not ok:
+                task = yield gpu_ready.get()
+            else:
+                yield checkpoint
             if not node.alive:
                 break  # queued work was re-homed by the crash handler
             if machine.gpu_task_overhead_s > 0:

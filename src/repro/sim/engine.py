@@ -11,10 +11,19 @@ Design notes
 - Ties in the heap are broken by a monotone sequence number, so event
   ordering — and therefore every simulated timing — is fully
   deterministic.
-- Callbacks run *through the heap* (scheduled at zero delay), never
-  synchronously from ``succeed()``. This keeps trigger cascades iterative
-  (no recursion-depth coupling to chain length) and gives a single,
+- Callbacks run *deferred* (at zero virtual delay), never synchronously
+  from ``succeed()``. This keeps trigger cascades iterative (no
+  recursion-depth coupling to chain length) and gives a single,
   predictable interleaving rule.
+- Zero-delay callbacks travel through the *immediate lane*, a plain
+  FIFO merged with the heap by ``(time, seq)``. Because a lane entry is
+  stamped with the clock at registration and the clock never runs ahead
+  of a pending heap entry, lane entries always sort at-or-before the
+  heap head; the sequence number — drawn from the same counter as heap
+  entries — breaks the tie. The drain order is therefore *identical* to
+  pushing the same callbacks through ``heapq`` at zero delay, while
+  costing one ``deque`` operation instead of two O(log n) heap
+  operations. Golden-digest tests pin this equivalence.
 - A process that raises with nobody waiting on its completion re-raises
   out of :meth:`Engine.run` — silent death of a simulated thread would
   otherwise manifest as an inexplicable hang.
@@ -24,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.util.errors import SimulationError
@@ -34,6 +44,7 @@ __all__ = [
     "Timeout",
     "Process",
     "ScheduledCall",
+    "Checkpoint",
     "all_of",
     "any_of",
 ]
@@ -46,21 +57,59 @@ _FAILED = 2
 class ScheduledCall:
     """Handle for a callback sitting in the event heap.
 
-    Supports :meth:`cancel`, which lazily removes the entry (the heap
-    slot stays until popped, but the callback will not run).
+    Supports :meth:`cancel`, which lazily removes the entry: the heap
+    slot stays until popped (or until the engine compacts the heap —
+    see :meth:`Engine._compact`), but the callback will not run.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "popped", "_engine")
 
-    def __init__(self, time: float, fn: Callable, args: tuple) -> None:
+    def __init__(
+        self, engine: "Engine", time: float, fn: Callable, args: tuple
+    ) -> None:
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: True once the entry has left the heap (fired, skipped, or
+        #: compacted away) — lets cancel() keep an honest count of the
+        #: cancelled entries still occupying heap slots.
+        self.popped = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running when its slot is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.popped:
+                self._engine._note_cancel()
+
+
+class Checkpoint:
+    """A reusable waitable that resumes its waiter through the immediate
+    lane, delivering ``None``.
+
+    ``yield engine.checkpoint`` consumes exactly one sequence number and
+    re-runs the process at the same position in the event order as
+    yielding an already-succeeded :class:`SimEvent` would — but with no
+    per-yield allocation. It is the fast path for "the queue had an
+    item; defer one lane step and continue" loops in the schedulers and
+    communication threads.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+
+    def _wait(self, callback: Callable) -> None:
+        self._engine.call_soon(callback, None)
+
+
+#: Compaction only kicks in past this heap size: tiny heaps are cheap
+#: to scan lazily, and the threshold avoids O(n) rebuild churn when a
+#: short-lived simulation cancels its only few timers.
+_COMPACT_MIN = 64
 
 
 class Engine:
@@ -69,8 +118,25 @@ class Engine:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, ScheduledCall]] = []
+        #: zero-delay callbacks: (time, seq, fn, arg), FIFO == seq order
+        self._immediate: deque[tuple[float, int, Callable, Any]] = deque()
         self._seq = itertools.count()
         self._running = False
+        self._cancelled_pending = 0
+        self.checkpoint = Checkpoint(self)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def heap_size(self) -> int:
+        """Heap slots currently occupied (live + lazily-cancelled)."""
+        return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled :class:`ScheduledCall` entries still in the heap."""
+        return self._cancelled_pending
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -79,9 +145,48 @@ class Engine:
         """Schedule ``fn(*args)`` to run ``delay`` virtual seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule at negative delay {delay}")
-        call = ScheduledCall(self.now + delay, fn, args)
+        call = ScheduledCall(self, self.now + delay, fn, args)
         heapq.heappush(self._heap, (call.time, next(self._seq), call))
         return call
+
+    def call_soon(self, fn: Callable, arg: Any = None) -> None:
+        """Run ``fn(arg)`` at the current virtual time, deferred.
+
+        The fast lane for zero-delay dispatch: same ``(time, seq)``
+        ordering as ``schedule(0.0, fn, arg)``, but a single FIFO append
+        instead of a heap push/pop pair, and no cancellation handle.
+        """
+        self._immediate.append((self.now, next(self._seq), fn, arg))
+
+    # ------------------------------------------------------------------
+    # lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= _COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        Rebuilds *in place* (slice assignment) so that :meth:`run`'s
+        local alias of the heap list stays valid, and re-heapifies on
+        the same ``(time, seq)`` keys — the drain order of the
+        surviving entries is untouched, so virtual timings are bitwise
+        identical with or without compaction.
+        """
+        live = []
+        for entry in self._heap:
+            if entry[2].cancelled:
+                entry[2].popped = True
+            else:
+                live.append(entry)
+        self._heap[:] = live
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     def event(self) -> "SimEvent":
         """A fresh, untriggered event owned by this engine."""
@@ -101,26 +206,64 @@ class Engine:
     # the event loop
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
-        """Drain the event heap; return the final virtual time.
+        """Drain the event queues; return the final virtual time.
 
         If ``until`` is given, stop as soon as the next event lies beyond
         it and set the clock to exactly ``until``.
+
+        Invariant: a callback may push, cancel, or — via cancellation —
+        compact the heap, so any peeked head entry is stale the moment a
+        callback has run. The loop therefore re-reads both the heap head
+        and the lane head on every iteration and never carries an entry
+        reference across a callback. (:meth:`peek` pops cancelled heads
+        for the same reason: callers must treat it as mutating.)
         """
         if self._running:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
+        heap = self._heap  # _compact() rebuilds in place, alias stays valid
+        lane = self._immediate
+        pop = heapq.heappop
         try:
-            while self._heap:
-                time, _, call = self._heap[0]
-                if call.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and time > until:
-                    self.now = until
-                    return self.now
-                heapq.heappop(self._heap)
-                self.now = time
-                call.fn(*call.args)
+            while True:
+                # shed lazily-cancelled heap heads before choosing a lane
+                while heap and heap[0][2].cancelled:
+                    dead = pop(heap)[2]
+                    dead.popped = True
+                    self._cancelled_pending -= 1
+                if lane:
+                    head = lane[0]
+                    # lane entries are stamped at-or-before the clock and
+                    # the clock never passes a pending heap entry, so the
+                    # lane head can only tie the heap head on time — the
+                    # shared sequence counter then decides, exactly as a
+                    # heap push at zero delay would have.
+                    if heap and (
+                        heap[0][0] < head[0]
+                        or (heap[0][0] == head[0] and heap[0][1] < head[1])
+                    ):
+                        head = None
+                else:
+                    head = None
+                if head is not None:
+                    time = head[0]
+                    if until is not None and time > until:
+                        self.now = until
+                        return self.now
+                    lane.popleft()
+                    self.now = time
+                    head[2](head[3])
+                elif heap:
+                    time, _, call = heap[0]
+                    if until is not None and time > until:
+                        self.now = until
+                        return self.now
+                    pop(heap)
+                    call.popped = True
+                    self.now = time
+                    call.fn(*call.args)
+                else:
+                    break
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -128,10 +271,22 @@ class Engine:
         return self.now
 
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None if the heap is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        """Time of the next pending event, or None if nothing is queued.
+
+        Sheds lazily-cancelled heap heads as a side effect, so a raw
+        reference to ``_heap[0]`` obtained before calling ``peek()`` is
+        invalidated — see the :meth:`run` invariant.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            dead = heapq.heappop(heap)[2]
+            dead.popped = True
+            self._cancelled_pending -= 1
+        if self._immediate:
+            lane_time = self._immediate[0][0]
+            if not heap or lane_time <= heap[0][0]:
+                return lane_time
+        return heap[0][0] if heap else None
 
 
 class SimEvent:
@@ -139,16 +294,24 @@ class SimEvent:
 
     Lifecycle: pending → succeeded (with a value) or failed (with an
     exception). Waiters registered after the fact are resumed
-    immediately (through the heap), so late subscription is safe.
+    immediately (through the lane), so late subscription is safe.
+
+    An event may also be *abandoned* (:meth:`abandon`): its waiter is
+    known dead — e.g. a fault-killed worker parked on a queue — and a
+    channel must never deliver an item to it. Abandonment is orthogonal
+    to the pending/succeeded/failed lifecycle: nothing fires.
     """
 
-    __slots__ = ("_engine", "_status", "_value", "_callbacks")
+    __slots__ = ("_engine", "_status", "_value", "_callbacks", "abandoned")
 
     def __init__(self, engine: Engine) -> None:
         self._engine = engine
         self._status = _PENDING
         self._value: Any = None
-        self._callbacks: list[Callable[["SimEvent"], None]] = []
+        #: lazily allocated — most events on the hot paths trigger with
+        #: zero or one waiter, so the empty list would be pure churn
+        self._callbacks: Optional[list[Callable[["SimEvent"], None]]] = None
+        self.abandoned = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -193,17 +356,33 @@ class SimEvent:
         return self
 
     def _dispatch(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self._engine.schedule(0.0, cb, self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            for cb in callbacks:
+                self._engine.call_soon(cb, self)
 
     # -- waiting ----------------------------------------------------------
     def _wait(self, callback: Callable[["SimEvent"], None]) -> None:
-        """Register ``callback(event)``; runs (via the heap) once triggered."""
+        """Register ``callback(event)``; runs (via the lane) once triggered."""
         if self._status != _PENDING:
-            self._engine.schedule(0.0, callback, self)
+            self._engine.call_soon(callback, self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
+
+    def abandon(self) -> None:
+        """Mark the event as never-to-be-consumed and drop its waiters.
+
+        Idempotent, and a no-op on already-triggered events. Used when
+        the process waiting on this event is dead (crashed node): a
+        later ``succeed()`` from a queue would hand an item to a corpse
+        and silently lose it.
+        """
+        if self._status == _PENDING:
+            self.abandoned = True
+            self._callbacks = None
 
     @property
     def has_waiters(self) -> bool:
@@ -250,7 +429,7 @@ class Process:
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self.completion = SimEvent(engine)
-        engine.schedule(0.0, self._step, None)
+        engine.call_soon(self._step, None)
 
     @property
     def alive(self) -> bool:

@@ -20,7 +20,7 @@ import itertools
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.obs.registry import NULL_METRICS, MetricsRegistry
-from repro.sim.engine import Engine, Process
+from repro.sim.engine import Engine, Process, SimEvent
 from repro.sim.resources import Resource
 from repro.util.errors import SimulationError
 
@@ -59,6 +59,35 @@ class Message:
             f"Message(#{self.seq} {self.src}->{self.dst} "
             f"{self.size_bytes:.0f}B tag={self.tag!r})"
         )
+
+
+class _LocalDelivery(SimEvent):
+    """A same-node message: no wire, no NIC — one lane hop to delivery.
+
+    Seq-equivalent to the transfer :class:`Process` that used to drive
+    an empty-bodied ``_transfer`` generator for ``src == dst`` (one
+    ``call_soon`` at creation; success value — the message — dispatched
+    from the same drain slot), but without the generator frame or the
+    separate completion event. Waitable like the remote path: ``yield``
+    it for delivery confirmation.
+    """
+
+    __slots__ = ("_message", "_dst_node", "_inbox", "_on_deliver")
+
+    def __init__(self, engine, message, dst_node, inbox, on_deliver) -> None:
+        super().__init__(engine)
+        self._message = message
+        self._dst_node = dst_node
+        self._inbox = inbox
+        self._on_deliver = on_deliver
+        engine.call_soon(self._fire, None)
+
+    def _fire(self, _arg) -> None:
+        if self._on_deliver is not None:
+            self._on_deliver(self._message)
+        else:
+            self._dst_node.inbox(self._inbox).put(self._message)
+        self.succeed(self._message)
 
 
 class NIC:
@@ -129,7 +158,7 @@ class Network:
         inbox: Optional[str] = None,
         tag: str = "",
         on_deliver=None,
-    ) -> Process:
+    ) -> "Process | _LocalDelivery":
         """Start delivering ``payload`` to ``dst``.
 
         Exactly one of ``inbox`` (named mailbox at the destination) or
@@ -156,62 +185,67 @@ class Network:
             if src != dst:
                 self.metrics.inc("net.remote_messages")
                 self.metrics.inc("net.link.bytes", size_bytes, src=src, dst=dst)
+        if src == dst:
+            # intra-node: no wire, no NIC, no generator machinery
+            return _LocalDelivery(
+                self.engine, message, self.node(dst), inbox, on_deliver
+            )
         return self.engine.process(
             self._transfer(message, inbox, on_deliver), name=f"xfer:{tag}#{message.seq}"
         )
 
     def _transfer(self, message: Message, inbox: Optional[str], on_deliver):
+        # remote messages only — same-node sends short-circuit in send()
         src_node = self.node(message.src)
         dst_node = self.node(message.dst)
         metrics = self.metrics
-        if message.src != message.dst:
-            wire = self.machine.wire_time(message.size_bytes)
-            attempt = 0
-            while True:
+        wire = self.machine.wire_time(message.size_bytes)
+        attempt = 0
+        while True:
+            if metrics.enabled:
+                metrics.gauge_max(
+                    "nic.backlog.hwm",
+                    src_node.nic.tx_backlog,
+                    node=message.src,
+                    dir="tx",
+                )
+            yield from src_node.nic.tx.use(wire)
+            fate = "ok"
+            if self.faults is not None:
+                fate = self.faults.plan.message_fate(
+                    message.tag, message.seq, attempt
+                )
+            if fate == "drop":
+                # lost on the wire: wait out the ack timeout
+                # (exponential backoff), then retransmit
+                report = self.faults.report
+                report.messages_dropped += 1
+                report.retransmits += 1
                 if metrics.enabled:
-                    metrics.gauge_max(
-                        "nic.backlog.hwm",
-                        src_node.nic.tx_backlog,
-                        node=message.src,
-                        dir="tx",
-                    )
-                yield from src_node.nic.tx.use(wire)
-                fate = "ok"
-                if self.faults is not None:
-                    fate = self.faults.plan.message_fate(
-                        message.tag, message.seq, attempt
-                    )
-                if fate == "drop":
-                    # lost on the wire: wait out the ack timeout
-                    # (exponential backoff), then retransmit
-                    report = self.faults.report
-                    report.messages_dropped += 1
-                    report.retransmits += 1
-                    if metrics.enabled:
-                        metrics.inc("net.retransmits")
-                    backoff = self.faults.plan.backoff(attempt)
-                    report.recovery_overhead_s += backoff
-                    yield self.engine.timeout(backoff)
-                    attempt += 1
-                    continue
-                if fate == "delay":
-                    self.faults.report.messages_delayed += 1
-                    yield self.engine.timeout(self.faults.plan.msg_delay_s)
-                yield self.engine.timeout(self.machine.net_latency_s)
-                if metrics.enabled:
-                    metrics.gauge_max(
-                        "nic.backlog.hwm",
-                        dst_node.nic.rx_backlog,
-                        node=message.dst,
-                        dir="rx",
-                    )
+                    metrics.inc("net.retransmits")
+                backoff = self.faults.plan.backoff(attempt)
+                report.recovery_overhead_s += backoff
+                yield self.engine.timeout(backoff)
+                attempt += 1
+                continue
+            if fate == "delay":
+                self.faults.report.messages_delayed += 1
+                yield self.engine.timeout(self.faults.plan.msg_delay_s)
+            yield self.engine.timeout(self.machine.net_latency_s)
+            if metrics.enabled:
+                metrics.gauge_max(
+                    "nic.backlog.hwm",
+                    dst_node.nic.rx_backlog,
+                    node=message.dst,
+                    dir="rx",
+                )
+            yield from dst_node.nic.rx.use(wire)
+            if fate == "dup":
+                # the duplicate also crosses the receiver's NIC, then
+                # is discarded by sequence number (exactly-once)
+                self.faults.report.messages_duplicated += 1
                 yield from dst_node.nic.rx.use(wire)
-                if fate == "dup":
-                    # the duplicate also crosses the receiver's NIC, then
-                    # is discarded by sequence number (exactly-once)
-                    self.faults.report.messages_duplicated += 1
-                    yield from dst_node.nic.rx.use(wire)
-                break
+            break
         if on_deliver is not None:
             on_deliver(message)
         else:

@@ -19,6 +19,32 @@ from repro.sim.engine import Engine, SimEvent
 __all__ = ["Store", "LifoStore", "PriorityStore"]
 
 
+def _pop_live_getter(getters: deque[SimEvent]) -> SimEvent | None:
+    """Pop the oldest getter that can still receive an item.
+
+    A getter killed by fault injection (its process crashed while blocked
+    on ``get()``) leaves an abandoned or already-triggered event behind in
+    the queue; delivering to it would silently drop the item. Dead entries
+    are discarded here, on the ``put()`` path, so the queue self-heals.
+    """
+    while getters:
+        event = getters.popleft()
+        if not event.abandoned and not event.triggered:
+            return event
+    return None
+
+
+def _abandon_getters(getters: deque[SimEvent]) -> int:
+    """Mark every pending getter abandoned; returns how many were live."""
+    n = 0
+    while getters:
+        event = getters.popleft()
+        if not event.abandoned and not event.triggered:
+            event.abandon()
+            n += 1
+    return n
+
+
 class Store:
     """Unbounded FIFO channel between simulated threads."""
 
@@ -33,12 +59,17 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        """Deposit ``item``; wakes the oldest *live* waiting getter if any."""
         self.total_puts += 1
-        if self._getters:
-            self._getters.popleft().succeed(item)
+        getter = _pop_live_getter(self._getters) if self._getters else None
+        if getter is not None:
+            getter.succeed(item)
         else:
             self._items.append(item)
+
+    def abandon_getters(self) -> int:
+        """Invalidate all pending getters (crashed consumers); see module doc."""
+        return _abandon_getters(self._getters)
 
     def get(self) -> SimEvent:
         """Event that fires with the next item (immediately if available)."""
@@ -74,12 +105,17 @@ class LifoStore:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        """Deposit ``item``; wakes the oldest *live* waiting getter if any."""
         self.total_puts += 1
-        if self._getters:
-            self._getters.popleft().succeed(item)
+        getter = _pop_live_getter(self._getters) if self._getters else None
+        if getter is not None:
+            getter.succeed(item)
         else:
             self._items.append(item)
+
+    def abandon_getters(self) -> int:
+        """Invalidate all pending getters (crashed consumers); see module doc."""
+        return _abandon_getters(self._getters)
 
     def get(self) -> SimEvent:
         """Event that fires with the newest item (immediately if any)."""
@@ -117,12 +153,17 @@ class PriorityStore:
         return len(self._heap)
 
     def put(self, item: Any, priority: float = 0.0) -> None:
-        """Deposit ``item`` at ``priority``; may immediately wake a getter."""
+        """Deposit ``item`` at ``priority``; may immediately wake a live getter."""
         self.total_puts += 1
-        if self._getters:
-            self._getters.popleft().succeed(item)
+        getter = _pop_live_getter(self._getters) if self._getters else None
+        if getter is not None:
+            getter.succeed(item)
         else:
             heapq.heappush(self._heap, (-priority, next(self._seq), item))
+
+    def abandon_getters(self) -> int:
+        """Invalidate all pending getters (crashed consumers); see module doc."""
+        return _abandon_getters(self._getters)
 
     def get(self) -> SimEvent:
         """Event firing with the highest-priority available item."""

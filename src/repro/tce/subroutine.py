@@ -156,12 +156,19 @@ class Subroutine:
         inputs: list[BlockTensor],
         output: BlockTensor,
         level: int = 0,
+        structure_token: tuple | None = None,
     ) -> None:
         self.name = name
         self.chains = chains
         self.inputs = inputs
         self.output = output
         self.level = level
+        #: hashable fingerprint of everything the chain *structure* depends
+        #: on (term spec + orbital space + seed + symmetry filter). Two
+        #: subroutines with equal tokens have identical chain IR, so
+        #: inspection results keyed on (token, n_nodes, chain height) can
+        #: be shared across runs. None disables such sharing.
+        self.structure_token = structure_token
 
     def __iter__(self) -> Iterator[ChainSpec]:
         return iter(self.chains)

@@ -181,6 +181,16 @@ class TermBuilder:
             inputs=[a_tensor, b_tensor],
             output=self.i2,
             level=spec.level,
+            structure_token=(
+                spec.name,
+                spec.contraction,
+                spec.level,
+                space.nocc,
+                space.nvirt,
+                space.tile_size,
+                self.seed,
+                self.symmetry_filter,
+            ),
         )
 
     def _sort_writes(self, key: tuple[int, int, int, int]) -> tuple[SortWrite, ...]:

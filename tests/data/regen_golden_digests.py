@@ -1,0 +1,35 @@
+"""Regenerate ``golden_tiny_digests.json`` (run from the repo root).
+
+Only do this for an *intentional* behavioural change — the digests are
+the bitwise-equivalence contract of the DES fast path, and any drift on
+an optimization-only change is a bug, not a baseline refresh.
+
+    PYTHONPATH=src python tests/data/regen_golden_digests.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.api import RunConfig, run
+from repro.tce.reference import correlation_energy
+
+RUNTIMES = ("legacy", "v1", "v2", "v3", "v4", "v5", "dtd")
+CONFIG = RunConfig(n_nodes=4, cores_per_node=2, seed=7, metrics=False)
+
+
+def main() -> None:
+    digests = {}
+    for runtime in RUNTIMES:
+        result = run("tiny", runtime=runtime, config=CONFIG)
+        digests[runtime] = {
+            "execution_time": result.execution_time.hex(),
+            "energy": correlation_energy(result.output.flat_values()).hex(),
+        }
+        print(runtime, digests[runtime])
+    path = Path(__file__).parent / "golden_tiny_digests.json"
+    path.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

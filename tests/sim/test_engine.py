@@ -434,3 +434,148 @@ class TestDeterminism:
         engine.process(worker())
         with pytest.raises(SimulationError):
             engine.run()
+
+
+class TestImmediateLane:
+    """The zero-delay fast path: lane + heap merge in global seq order."""
+
+    def test_call_soon_runs_callbacks(self, engine):
+        got = []
+        engine.call_soon(got.append, "a")
+        engine.call_soon(got.append, "b")
+        engine.run()
+        assert got == ["a", "b"]
+
+    def test_lane_merges_with_heap_by_seq(self, engine):
+        # same timestamp: whoever registered first (lower seq) runs first,
+        # exactly as if everything had gone through the heap
+        order = []
+        engine.schedule(0.0, order.append, "heap0")  # seq 0
+        engine.call_soon(order.append, "lane1")      # seq 1
+        engine.schedule(0.0, order.append, "heap2")  # seq 2
+        engine.run()
+        assert order == ["heap0", "lane1", "heap2"]
+
+    def test_lane_runs_before_later_heap_times(self, engine):
+        order = []
+        engine.schedule(5.0, order.append, "later")
+
+        def at_t1():
+            engine.call_soon(order.append, "lane@1")
+
+        engine.schedule(1.0, at_t1)
+        engine.run()
+        assert order == ["lane@1", "later"]
+
+    def test_event_dispatch_goes_through_lane_not_heap(self, engine):
+        event = engine.event()
+        got = []
+        event._wait(lambda ev: got.append(ev.value))
+        event.succeed(9)
+        assert engine.heap_size == 0  # no zero-delay heapq traffic
+        engine.run()
+        assert got == [9]
+
+    def test_run_until_does_not_drain_future_lane_entries(self, engine):
+        # a lane entry stamped beyond `until` must survive for a later run()
+        fired = []
+
+        def at_t3():
+            engine.call_soon(fired.append, True)
+
+        engine.schedule(3.0, at_t3)
+        engine.run(until=2.0)
+        assert fired == []
+        engine.run()
+        assert fired == [True]
+
+    def test_checkpoint_resumes_through_lane(self, engine):
+        log = []
+
+        def proc():
+            log.append(("before", engine.now))
+            yield engine.checkpoint
+            log.append(("after", engine.now))
+
+        engine.process(proc())
+        engine.run()
+        assert log == [("before", 0.0), ("after", 0.0)]
+
+    def test_checkpoint_consumes_one_seq_like_presucceeded_get(self):
+        # two engines, two spellings of "yield once at now": the subsequent
+        # timeout must land on the same (time, seq) slot in both
+        def drive(use_checkpoint):
+            engine = Engine()
+            order = []
+
+            def proc():
+                if use_checkpoint:
+                    yield engine.checkpoint
+                else:
+                    event = engine.event()
+                    event.succeed(None)
+                    yield event
+                order.append("proc")
+
+            engine.process(proc())
+            engine.process(iter_marker(engine, order))
+            engine.run()
+            return order
+
+        def iter_marker(engine, order):
+            yield engine.timeout(0.0)
+            order.append("marker")
+
+        assert drive(True) == drive(False)
+
+    def test_peek_sees_lane_head(self, engine):
+        engine.schedule(4.0, lambda _=None: None)
+        engine.call_soon(lambda _=None: None)
+        assert engine.peek() == 0.0
+
+
+class TestHeapCompaction:
+    def test_heap_size_and_cancelled_pending_track_schedule_cancel(self, engine):
+        calls = [engine.schedule(float(i + 1), lambda _=None: None) for i in range(10)]
+        assert engine.heap_size == 10
+        assert engine.cancelled_pending == 0
+        calls[0].cancel()
+        calls[0].cancel()  # idempotent: counted once
+        assert engine.cancelled_pending == 1
+        assert engine.heap_size == 10  # lazy: still occupying a slot
+
+    def test_compaction_reclaims_majority_cancelled(self, engine):
+        calls = [engine.schedule(float(i + 1), lambda _=None: None) for i in range(100)]
+        for call in calls[:70]:
+            call.cancel()
+        # threshold (>= 64 cancelled and more than half the heap) was crossed
+        assert engine.cancelled_pending < 64
+        live = engine.heap_size - engine.cancelled_pending
+        assert live == 30
+        engine.run()
+        assert engine.heap_size == 0
+
+    def test_cancel_churn_keeps_heap_bounded(self, engine):
+        peak = 0
+        for i in range(10_000):
+            engine.schedule(1.0 + i, lambda _=None: None).cancel()
+            peak = max(peak, engine.heap_size)
+        assert peak <= 130  # compaction bound, not monotone growth
+
+    def test_cancel_after_run_does_not_corrupt_counter(self, engine):
+        call = engine.schedule(1.0, lambda _=None: None)
+        engine.run()
+        call.cancel()  # already popped: must not count as heap garbage
+        assert engine.cancelled_pending == 0
+
+    def test_compaction_preserves_order_and_delivery(self, engine):
+        order = []
+        keep = []
+        for i in range(200):
+            call = engine.schedule(float(i), order.append, i)
+            if i % 3:
+                call.cancel()
+            else:
+                keep.append(i)
+        engine.run()
+        assert order == keep

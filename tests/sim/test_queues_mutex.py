@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.engine import Engine
 from repro.sim.mutex import SimMutex
-from repro.sim.queues import PriorityStore, Store
+from repro.sim.queues import LifoStore, PriorityStore, Store
 
 
 @pytest.fixture
@@ -205,3 +205,46 @@ class TestSimMutex:
         engine.process(worker())
         engine.run()
         assert not mutex.locked
+
+
+class TestAbandonedGetters:
+    """Dead consumers must not eat items (see queues._pop_live_getter)."""
+
+    @pytest.mark.parametrize("store_cls", [Store, LifoStore, PriorityStore])
+    def test_put_skips_abandoned_getter(self, engine, store_cls):
+        store = store_cls(engine)
+        corpse = store.get()  # a consumer that will die while parked
+        corpse.abandon()
+        got = []
+
+        def live():
+            item = yield store.get()
+            got.append(item)
+
+        engine.process(live())
+        engine.run(until=0.0)  # park the live getter behind the corpse
+        store.put("task")
+        engine.run()
+        assert got == ["task"]
+        assert not corpse.triggered
+
+    @pytest.mark.parametrize("store_cls", [Store, LifoStore, PriorityStore])
+    def test_abandon_getters_then_put_buffers_item(self, engine, store_cls):
+        store = store_cls(engine)
+        store.get()  # pending getter
+        assert store.abandon_getters() == 1
+        assert store.abandon_getters() == 0  # idempotent
+        store.put("x")
+        assert len(store) == 1
+        ok, item = store.try_get()
+        assert ok and item == "x"
+
+    def test_triggered_getter_not_double_served(self, engine):
+        # a getter satisfied immediately (items available) never re-enters
+        # the getter queue, so put() must simply buffer
+        store = Store(engine)
+        store.put(1)
+        first = store.get()
+        assert first.triggered and first.value == 1
+        store.put(2)
+        assert len(store) == 1

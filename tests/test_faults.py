@@ -423,3 +423,105 @@ class TestChaosSweep:
         assert totals["tasks_reassigned"] + totals["tasks_recomputed"] > 0
         assert totals["tickets_reissued"] > 0
         assert totals["chains_recovered"] > 0
+
+
+# ----------------------------------------------------------------------
+# dead getters: a worker killed mid-get() must not eat queued work
+# ----------------------------------------------------------------------
+class TestDeadGetterRegression:
+    def test_worker_killed_mid_get_loses_no_tasks(self):
+        """Regression for silent task loss under crashes.
+
+        A worker blocked on ``ready.get()`` when its node dies leaves a
+        pending SimEvent in the store's getter queue. Before the fix, a
+        later ``put()`` succeeded that corpse event: the dead worker woke,
+        saw ``not node.alive``, and broke — the task vanished. The crash
+        path now abandons parked getters (``NodeScheduler.drain``), and
+        ``put()`` skips abandoned/triggered events.
+        """
+        from repro.sim.queues import Store
+
+        engine = Engine()
+        store = Store(engine)
+        node_alive = [True]
+        processed = []
+
+        def worker():
+            while True:
+                task = yield store.get()
+                if not node_alive[0]:
+                    break  # crash semantics: abort without processing
+                processed.append(task)
+
+        engine.process(worker())
+
+        def crash():
+            node_alive[0] = False
+            store.abandon_getters()  # what NodeScheduler.drain() does now
+
+        engine.schedule(1.0, crash)
+        engine.schedule(2.0, store.put, "re-homed-task")
+        engine.run()
+        # the corpse neither processed nor consumed the task ...
+        assert processed == []
+        # ... which is still in the store for a recovery worker to claim
+        assert len(store) == 1
+
+    def test_scheduler_drain_abandons_parked_workers(self):
+        """End to end: crash a node, then check its ready-store getters died."""
+        from repro.core.inspector import inspect_subroutine
+        from repro.core.ptg_build import build_ccsd_ptg
+        from repro.core.variants import variant_by_name
+        from repro.parsec.runtime import ParsecRuntime
+
+        cluster, workload = _fresh_workload()
+        cluster.install_faults(
+            FaultPlan(master_seed=31, crashes=(NodeCrash(node=1, at=1e-4),))
+        )
+        variant = variant_by_name("v5")
+        md = inspect_subroutine(workload.subroutine, cluster, variant)
+        runtime = ParsecRuntime(cluster)
+        result = runtime.execute(build_ccsd_ptg(variant, md), md)
+        assert result.nodes_crashed == 1
+        assert result.tasks_reassigned > 0
+        # drain() removed (and abandoned) every getter parked at crash
+        # time: no corpse is left for a stray put() to resurrect
+        dead_ready = runtime.schedulers[1].ready
+        assert all(
+            event.abandoned or event.triggered for event in dead_ready._getters
+        )
+
+
+# ----------------------------------------------------------------------
+# cancelled-timer churn: the event heap must stay bounded
+# ----------------------------------------------------------------------
+class TestHeapBoundedUnderChaos:
+    def test_retransmit_timer_churn_keeps_heap_bounded(self):
+        """Every delivered message cancels its ack timer; dead entries
+        must be compacted away instead of accumulating for the whole run."""
+        cluster = _cluster(n_nodes=2)
+        cluster.install_faults(FaultPlan(master_seed=9, drop_prob=0.15))
+        engine = cluster.engine
+        delivered = []
+        peak_cancelled = [0]
+
+        def sender():
+            for i in range(400):
+                cluster.network.send(
+                    0,
+                    1,
+                    256.0,
+                    i,
+                    tag="t",
+                    on_deliver=lambda m: delivered.append(m.payload),
+                )
+                peak_cancelled[0] = max(peak_cancelled[0], engine.cancelled_pending)
+                yield engine.timeout(1e-6)
+
+        engine.process(sender())
+        cluster.run()
+        assert sorted(delivered) == list(range(400))
+        # lazy-cancelled entries never exceed the compaction threshold
+        # plus half the live heap — no monotone growth
+        assert peak_cancelled[0] <= 64 + engine.heap_size // 2 + 400
+        assert engine.cancelled_pending * 2 <= max(128, engine.heap_size)

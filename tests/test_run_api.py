@@ -1,6 +1,8 @@
 """Tests of the unified ``repro.run`` facade and the RunResult protocol."""
 
+import json
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -109,6 +111,71 @@ class TestDeterminism:
             config = RunConfig(n_nodes=4, cores_per_node=2, metrics=enabled)
             times[enabled] = run("tiny", runtime="legacy", config=config).execution_time
         assert times[False] == times[True]
+
+
+class TestGoldenDigests:
+    """Bitwise virtual-time + energy digests across every runtime.
+
+    The committed digests were captured *before* the DES fast path
+    (immediate lane, try_get workers, inspection cache) landed; the
+    fast path's contract is that they never move. Regenerate with
+    ``tests/data/regen_golden_digests.py`` only for an intentional
+    behavioural change.
+    """
+
+    GOLDEN = Path(__file__).parent / "data" / "golden_tiny_digests.json"
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(self.GOLDEN.read_text())
+
+    def test_covers_every_runtime(self, golden):
+        assert sorted(golden) == ["dtd", "legacy", "v1", "v2", "v3", "v4", "v5"]
+
+    @pytest.mark.parametrize("rt", ["legacy", "v1", "v2", "v3", "v4", "v5", "dtd"])
+    def test_digest_bitwise_stable(self, golden, rt):
+        from repro.tce.reference import correlation_energy
+
+        config = RunConfig(n_nodes=4, cores_per_node=2, seed=7, metrics=False)
+        result = run("tiny", runtime=rt, config=config)
+        assert result.execution_time.hex() == golden[rt]["execution_time"]
+        energy = correlation_energy(result.output.flat_values())
+        assert energy.hex() == golden[rt]["energy"]
+
+
+class TestInspectionCache:
+    def test_cached_and_uncached_runs_identical(self):
+        from repro.core.api import InspectionCache
+
+        cache = InspectionCache()
+        config = RunConfig(
+            n_nodes=4, cores_per_node=2, metrics=False, inspection_cache=cache
+        )
+        plain = RunConfig(n_nodes=4, cores_per_node=2, metrics=False)
+        for rt in ("v2", "v5"):
+            warm = run("tiny", runtime=rt, config=config)  # miss, fills cache
+            cached = run("tiny", runtime=rt, config=config)  # hit
+            reference = run("tiny", runtime=rt, config=plain)
+            assert warm.execution_time == reference.execution_time
+            assert cached.execution_time == reference.execution_time
+        assert cache.hits >= 2
+        assert cache.misses >= 1
+
+    def test_distinct_node_counts_do_not_collide(self):
+        from repro.core.api import InspectionCache
+
+        cache = InspectionCache()
+        times = {}
+        for n_nodes in (2, 4):
+            config = RunConfig(
+                n_nodes=n_nodes,
+                cores_per_node=2,
+                metrics=False,
+                inspection_cache=cache,
+            )
+            times[n_nodes] = run("tiny", runtime="v5", config=config).execution_time
+        assert len(cache) == 2  # one entry per node count
+        assert times[2] != times[4]
 
 
 class TestDeprecatedShim:
