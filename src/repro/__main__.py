@@ -14,7 +14,13 @@ Subcommands regenerate the paper's artifacts without pytest:
 Exit codes are uniform across subcommands: ``0`` for success (including
 informational runs at non-paper scales), ``1`` when a declared check
 fails (shape checks at paper scale, equivalence digits, chaos recovery,
-perf regressions), and ``2`` for argparse usage errors.
+perf regressions), and ``2`` for usage/configuration errors (argparse
+rejections and invalid sweep configuration such as an unknown scale).
+
+The sweep subcommands (``fig9``, ``perf``, ``chaos``) accept
+``--jobs/-j N`` to fan their independent grid cells out over worker
+processes; per-cell progress goes to stderr and results are merged
+deterministically, so the output is byte-identical at any job count.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ import sys
 EXIT_OK = 0
 #: the run completed but a declared check failed
 EXIT_CHECK_FAILED = 1
+#: invalid usage/configuration (argparse uses the same code)
+EXIT_USAGE = 2
 
 
 def _add_scale(parser: argparse.ArgumentParser, default: str = "paper") -> None:
@@ -38,10 +46,29 @@ def _add_scale(parser: argparse.ArgumentParser, default: str = "paper") -> None:
     )
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep (default: 1 = serial; 0 = one "
+            "per CPU). Results are byte-identical at any job count."
+        ),
+    )
+
+
+def _progress():
+    from repro.experiments.sweep import default_progress
+
+    return default_progress
+
+
 def cmd_fig9(args: argparse.Namespace) -> int:
     from repro.experiments.fig9 import fig9_shape_checks, run_fig9
 
-    result = run_fig9(scale=args.scale)
+    result = run_fig9(scale=args.scale, jobs=args.jobs, progress=_progress())
     print(result.table())
     print()
     print(result.chart())
@@ -50,9 +77,11 @@ def cmd_fig9(args: argparse.Namespace) -> int:
     print()
     failed = 0
     for check in fig9_shape_checks(result):
-        status = "PASS" if check.passed else "FAIL"
+        status = "SKIP" if check.skipped else ("PASS" if check.passed else "FAIL")
         failed += not check.passed
         print(f"[{status}] {check.name}: {check.detail}")
+    if result.sweep_stats is not None:
+        print(f"\n{result.sweep_stats.summary()}")
     if args.scale not in ("paper", "full"):
         print(
             "\nnote: the shape checks describe the paper-scale workload; at "
@@ -162,6 +191,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         cores_per_node=args.cores,
         fault_seed=args.fault_seed,
+        jobs=args.jobs,
+        progress=_progress(),
     )
     print(f"fault plan: {result.plan_description}\n")
     rows = []
@@ -186,6 +217,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     )
     print()
+    if result.sweep_stats is not None:
+        print(result.sweep_stats.summary())
     print("ALL OK" if result.all_ok else "FAILURES DETECTED")
     return EXIT_OK if result.all_ok else EXIT_CHECK_FAILED
 
@@ -236,8 +269,13 @@ def cmd_perf(args: argparse.Namespace) -> int:
         diff_baselines,
         run_perf,
     )
+    from repro.util.errors import ConfigurationError
 
-    new = run_perf(scale=args.scale)
+    try:
+        new = run_perf(scale=args.scale, jobs=args.jobs, progress=_progress())
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     out = args.out or f"BENCH_fig9_{args.scale}.json"
     written = new.write(out)
     print(f"wrote {written}")
@@ -254,6 +292,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if new.sweep_stats is not None:
+        print(f"\n{new.sweep_stats.summary()}")
     baseline_file = args.baseline or baseline_path(args.scale)
     if args.update_baseline:
         committed = new.write(baseline_path(args.scale))
@@ -267,14 +307,26 @@ def cmd_perf(args: argparse.Namespace) -> int:
             "regression gate (use --update-baseline to create one)"
         )
         return EXIT_OK
-    old = PerfBaseline.read(baseline_file)
-    regressions = diff_baselines(old, new, threshold=args.threshold)
+    try:
+        old = PerfBaseline.read(baseline_file)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECK_FAILED
+    diff = diff_baselines(old, new, threshold=args.threshold)
     print(f"\nbaseline: {baseline_file} (threshold {100 * args.threshold:.0f}%)")
-    if regressions:
-        for regression in regressions:
+    for cell in diff.missing:
+        print(f"WARNING {cell.describe()}")
+    if diff.regressions:
+        for regression in diff.regressions:
             print(f"REGRESSION {regression.describe()}")
         return EXIT_CHECK_FAILED
-    print("no regressions")
+    if diff.missing:
+        print(
+            "no regressions in the cells both sweeps cover — but "
+            f"{len(diff.missing)} baseline cell(s) went missing (see above)"
+        )
+    else:
+        print("no regressions")
     return EXIT_OK
 
 
@@ -309,6 +361,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = subparsers.add_parser("fig9", help="Figure 9 sweep + shape checks")
     _add_scale(p)
+    _add_jobs(p)
     p.set_defaults(func=cmd_fig9)
 
     p = subparsers.add_parser("traces", help="Figures 10-13 ASCII traces")
@@ -332,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--fault-seed", type=int, default=2025, help="master seed of the fault plan"
     )
+    _add_jobs(p)
     p.set_defaults(func=cmd_chaos)
 
     p = subparsers.add_parser(
@@ -374,6 +428,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="overwrite the committed baseline with this sweep",
     )
+    _add_jobs(p)
     p.set_defaults(func=cmd_perf)
 
     p = subparsers.add_parser("info", help="workload and machine summary")

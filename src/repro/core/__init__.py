@@ -37,10 +37,10 @@ from repro.core.variants import (
     variant_by_name,
 )
 from repro.core.metadata import Metadata, ChainMeta, GemmMeta
-from repro.core.inspector import inspect_subroutine
+from repro.core.inspector import InspectionCache, inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.executor import CcsdRun, run_over_parsec
-from repro.core.api import RunConfig, run
+from repro.core.api import RunConfig, precompute_inspection, run
 from repro.core.integration import NwchemDriver
 
 __all__ = [
@@ -57,7 +57,9 @@ __all__ = [
     "Metadata",
     "ChainMeta",
     "GemmMeta",
+    "InspectionCache",
     "inspect_subroutine",
+    "precompute_inspection",
     "build_ccsd_ptg",
     "CcsdRun",
     "run_over_parsec",

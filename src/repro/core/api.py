@@ -33,7 +33,7 @@ from repro.tce.molecules import system_for_scale
 from repro.tce.t2_7 import T27Workload, build_t2_7
 from repro.util.errors import ConfigurationError
 
-__all__ = ["RunConfig", "run"]
+__all__ = ["RunConfig", "precompute_inspection", "run"]
 
 #: ``runtime=`` spellings accepted by :func:`run`, besides "parsec".
 _VARIANT_RUNTIMES = ("v1", "v2", "v3", "v4", "v5")
@@ -87,6 +87,55 @@ def _build_workload(scale: str, config: RunConfig) -> T27Workload:
     ga = GlobalArrays(cluster)
     system = system_for_scale(scale)
     return build_t2_7(cluster, ga, system.orbital_space(), seed=config.seed)
+
+
+def precompute_inspection(
+    scale: str,
+    n_nodes: int,
+    codes: Union[list, tuple] = _VARIANT_RUNTIMES,
+    seed: int = 7,
+    cache: Optional[InspectionCache] = None,
+) -> InspectionCache:
+    """Fill an :class:`InspectionCache` for a sweep before it runs.
+
+    Inspected chain metadata depends only on the workload's structure
+    token, the node count, and the variant's chain height — not on
+    cores/node, data mode, or the machine model. A sweep parent can
+    therefore inspect once per (structure token × n_nodes × height) on
+    a throwaway SYNTH cluster and ship the resulting cache to worker
+    processes (it pickles cleanly), so the memoization survives process
+    isolation instead of being recomputed in every worker.
+
+    ``codes`` may mix variant names with non-PaRSEC runtimes
+    (``"original"``/``"legacy"``/``"dtd"`` are skipped — they have no
+    inspection phase). Returns ``cache`` (a fresh one when ``None``).
+    """
+    cache = cache if cache is not None else InspectionCache()
+    variants = []
+    seen_heights = set()
+    for code in codes:
+        name = code.lower()
+        if name == "parsec":
+            name = V5.name
+        if name not in _VARIANT_RUNTIMES:
+            continue
+        variant = variant_by_name(name)
+        if variant.segment_height not in seen_heights:
+            seen_heights.add(variant.segment_height)
+            variants.append(variant)
+    if not variants:
+        return cache
+    config = RunConfig(
+        n_nodes=n_nodes,
+        cores_per_node=1,
+        data_mode=DataMode.SYNTH,
+        metrics=False,
+        seed=seed,
+    )
+    workload = _build_workload(scale, config)
+    for variant in variants:
+        cache.precompute(workload.subroutine, workload.cluster, variant)
+    return cache
 
 
 def run(

@@ -50,6 +50,12 @@ class InspectionCache:
 
     The cache never holds :class:`Metadata` itself — that object carries
     live :class:`GlobalArray` references and must be rebuilt per run.
+
+    Because the cached values are pure-data dataclasses keyed by plain
+    tuples, a cache **pickles cleanly**: a parent process can
+    :meth:`precompute` the entries once and ship the cache to
+    process-pool workers (each worker receives its own copy), so the
+    memoization survives process isolation in parallel sweeps.
     """
 
     def __init__(self) -> None:
@@ -59,6 +65,22 @@ class InspectionCache:
 
     def __len__(self) -> int:
         return len(self._chains)
+
+    def precompute(
+        self, subroutine: Subroutine, cluster: Cluster, variant: VariantSpec
+    ) -> None:
+        """Force the entry for (subroutine, n_nodes, variant height).
+
+        A no-op when the entry already exists or the subroutine has no
+        ``structure_token`` (then there is no safe cache identity).
+        """
+        if subroutine.structure_token is not None:
+            self.chains_for(subroutine, cluster, variant)
+
+    def merge(self, other: "InspectionCache") -> None:
+        """Adopt every entry of ``other`` this cache does not hold yet."""
+        for key, chains in other._chains.items():
+            self._chains.setdefault(key, chains)
 
     def chains_for(
         self, subroutine: Subroutine, cluster: Cluster, variant: VariantSpec

@@ -10,8 +10,12 @@
   agreement experiment (Section IV-A).
 - :mod:`repro.experiments.ablations` — priorities offset, chain
   segmentation height, write organization, and load-balancing sweeps.
+- :mod:`repro.experiments.sweep` — the multi-process sweep executor
+  every grid experiment dispatches through (``jobs=N`` with a
+  deterministic, byte-identical merge).
 """
 
+from repro.experiments.sweep import SweepCell, SweepExecutor, SweepStats
 from repro.experiments.calibration import (
     CORE_COUNTS,
     PAPER_MACHINE,
@@ -38,4 +42,7 @@ __all__ = [
     "run_fig10_11",
     "run_fig12_13",
     "run_equivalence",
+    "SweepCell",
+    "SweepExecutor",
+    "SweepStats",
 ]

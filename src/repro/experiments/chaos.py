@@ -17,17 +17,25 @@ Bitwise equivalence is only meaningful with a canonical accumulation
 order, so every run — including the reference — enables the i2 array's
 ordered-accumulation mode; the fault-free timeline is otherwise
 untouched.
+
+Each runner's triple is one independent sweep cell (its fault plan is
+derived from its own fault-free horizon, nothing crosses runners), so
+the sweep dispatches through
+:class:`~repro.experiments.sweep.SweepExecutor`: ``jobs > 1`` runs the
+runners in worker processes with results merged deterministically.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.core import api
 from repro.core.variants import PAPER_VARIANTS, variant_by_name
 from repro.experiments.calibration import make_cluster, make_workload
+from repro.experiments.sweep import SweepCell, SweepExecutor, SweepStats
 from repro.legacy.runtime import LegacyRuntime
 from repro.sim.cluster import DataMode
 from repro.sim.faults import FaultPlan, NodeCrash, Straggler
@@ -63,6 +71,10 @@ class ChaosResult:
 
     plan_description: str
     outcomes: list[ChaosOutcome] = field(default_factory=list)
+    #: wall-clock accounting of the sweep (host-side diagnostics only)
+    sweep_stats: Optional[SweepStats] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def all_ok(self) -> bool:
@@ -102,68 +114,114 @@ def default_plan(master_seed: int, horizon_s: float, n_nodes: int) -> FaultPlan:
     )
 
 
+def _chaos_run(name, scale, n_nodes, cores_per_node, seed, plan, cache):
+    """One run; returns (i2 values, end time, counter dict)."""
+    variant = None if name == "original" else variant_by_name(name)
+    cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
+    workload = make_workload(cluster, scale=scale, seed=seed)
+    workload.i2.array.enable_ordered_accumulation()
+    if plan is not None:
+        cluster.install_faults(plan)
+    if variant is None:
+        LegacyRuntime(cluster, workload.ga).execute_subroutine(workload.subroutine)
+    else:
+        config = api.RunConfig(inspection_cache=cache)
+        api.run(workload, variant=variant, config=config)
+    counters = asdict(cluster.faults.report) if cluster.faults else {}
+    return workload.i2.flat_values(), cluster.engine.now, counters
+
+
+def _chaos_cell(
+    name: str,
+    scale: str,
+    n_nodes: int,
+    cores_per_node: int,
+    seed: int,
+    fault_seed: int,
+    cache=None,
+) -> tuple[ChaosOutcome, str]:
+    """One runner's full triple (reference + two faulted runs).
+
+    Module-level and pure-data in/out so the sweep executor can ship it
+    to a worker process; returns the outcome plus the plan description.
+    """
+    reference, horizon, _ = _chaos_run(
+        name, scale, n_nodes, cores_per_node, seed, None, cache
+    )
+    plan = default_plan(fault_seed, horizon, n_nodes)
+    values_a, end_a, counters_a = _chaos_run(
+        name, scale, n_nodes, cores_per_node, seed, plan, cache
+    )
+    values_b, end_b, counters_b = _chaos_run(
+        name, scale, n_nodes, cores_per_node, seed, plan, cache
+    )
+    recovered = any(
+        counters_a.get(k, 0) > 0
+        for k in (
+            "task_retries",
+            "retransmits",
+            "tasks_recomputed",
+            "tasks_reassigned",
+            "tickets_reissued",
+            "chains_recovered",
+            "nodes_crashed",
+        )
+    )
+    outcome = ChaosOutcome(
+        name=name,
+        bitwise_match=bool(
+            np.array_equal(values_a, reference)
+            and np.array_equal(values_b, reference)
+        ),
+        deterministic=bool(
+            end_a == end_b
+            and counters_a == counters_b
+            and np.array_equal(values_a, values_b)
+        ),
+        faults_recovered=recovered,
+        end_time_clean=horizon,
+        end_time_faulted=end_a,
+        counters=counters_a,
+    )
+    return outcome, plan.describe()
+
+
 def run_chaos(
     scale: str = "tiny",
     n_nodes: int = 4,
     cores_per_node: int = 2,
     seed: int = 7,
     fault_seed: int = 2025,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ChaosResult:
     """The full chaos sweep: legacy plus the five PaRSEC variants."""
-    runners = [("original", None)] + [
-        (name, variant_by_name(name)) for name in sorted(PAPER_VARIANTS)
-    ]
-    result = ChaosResult(plan_description="")
-
-    def execute(name, variant, plan):
-        """One run; returns (i2 values, end time, counter dict)."""
-        cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
-        workload = make_workload(cluster, scale=scale, seed=seed)
-        workload.i2.array.enable_ordered_accumulation()
-        if plan is not None:
-            cluster.install_faults(plan)
-        if variant is None:
-            LegacyRuntime(cluster, workload.ga).execute_subroutine(workload.subroutine)
-        else:
-            api.run(workload, variant=variant)
-        counters = asdict(cluster.faults.report) if cluster.faults else {}
-        return workload.i2.flat_values(), cluster.engine.now, counters
-
-    for name, variant in runners:
-        reference, horizon, _ = execute(name, variant, None)
-        plan = default_plan(fault_seed, horizon, n_nodes)
-        if not result.plan_description:
-            result.plan_description = plan.describe()
-        values_a, end_a, counters_a = execute(name, variant, plan)
-        values_b, end_b, counters_b = execute(name, variant, plan)
-        recovered = any(
-            counters_a.get(k, 0) > 0
-            for k in (
-                "task_retries",
-                "retransmits",
-                "tasks_recomputed",
-                "tasks_reassigned",
-                "tickets_reissued",
-                "chains_recovered",
-                "nodes_crashed",
-            )
-        )
-        result.outcomes.append(
-            ChaosOutcome(
+    names = ["original"] + sorted(PAPER_VARIANTS)
+    cache = api.precompute_inspection(
+        scale, n_nodes, codes=sorted(PAPER_VARIANTS), seed=seed
+    )
+    cells = [
+        SweepCell(
+            key=(name,),
+            fn=_chaos_cell,
+            kwargs=dict(
                 name=name,
-                bitwise_match=bool(
-                    np.array_equal(values_a, reference)
-                    and np.array_equal(values_b, reference)
-                ),
-                deterministic=bool(
-                    end_a == end_b
-                    and counters_a == counters_b
-                    and np.array_equal(values_a, values_b)
-                ),
-                faults_recovered=recovered,
-                end_time_clean=horizon,
-                end_time_faulted=end_a,
-                counters=counters_a,
-            )
+                scale=scale,
+                n_nodes=n_nodes,
+                cores_per_node=cores_per_node,
+                seed=seed,
+                fault_seed=fault_seed,
+                cache=cache,
+            ),
         )
-    return result
+        for name in names
+    ]
+    executor = SweepExecutor(jobs=jobs, progress=progress, label=f"chaos[{scale}]")
+    results, stats = executor.run(cells)
+    outcomes = [results[(name,)][0] for name in names]
+    plan_description = results[(names[0],)][1]
+    return ChaosResult(
+        plan_description=plan_description,
+        outcomes=outcomes,
+        sweep_stats=stats,
+    )

@@ -5,16 +5,21 @@ different variations matched up to the 14th digit."
 
 Runs the same seeded workload through the dense reference, the legacy
 runtime, and all five PaRSEC variants — real data end to end — and
-compares the correlation-energy probe.
+compares the correlation-energy probe. Each implementation is one
+independent sweep cell, so the seven runs dispatch through
+:class:`~repro.experiments.sweep.SweepExecutor` (``jobs > 1`` fans
+them out over worker processes; the energies are identical either way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core import api
 from repro.core.variants import PAPER_VARIANTS
 from repro.experiments.calibration import make_cluster, make_workload
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.sim.cluster import DataMode
 from repro.tce.reference import compute_reference, correlation_energy
 
@@ -37,32 +42,54 @@ class EquivalenceResult:
         return -math.log10(self.max_relative_spread)
 
 
+def _equivalence_cell(
+    name: str, scale: str, n_nodes: int, cores_per_node: int, seed: int, cache=None
+) -> float:
+    """One implementation's correlation energy on a fresh cluster."""
+    cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
+    workload = make_workload(cluster, scale=scale, seed=seed)
+    if name == "reference":
+        return correlation_energy(compute_reference(workload))
+    config = api.RunConfig(inspection_cache=cache)
+    api.run(workload, runtime=name, config=config)
+    return correlation_energy(workload.i2.flat_values())
+
+
 def run_equivalence(
-    scale: str = "small", n_nodes: int = 8, cores_per_node: int = 2, seed: int = 7
+    scale: str = "small",
+    n_nodes: int = 8,
+    cores_per_node: int = 2,
+    seed: int = 7,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> EquivalenceResult:
     """Compute the correlation energy seven ways and compare."""
-    energies: dict[str, float] = {}
-
-    def fresh():
-        cluster = make_cluster(
-            cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL
+    names = ["reference", "original"] + sorted(PAPER_VARIANTS)
+    cache = api.precompute_inspection(
+        scale, n_nodes, codes=sorted(PAPER_VARIANTS), seed=seed
+    )
+    cells = [
+        SweepCell(
+            key=(name,),
+            fn=_equivalence_cell,
+            kwargs=dict(
+                name=name,
+                scale=scale,
+                n_nodes=n_nodes,
+                cores_per_node=cores_per_node,
+                seed=seed,
+                cache=cache,
+            ),
         )
-        workload = make_workload(cluster, scale=scale, seed=seed)
-        return cluster, workload
-
-    cluster, workload = fresh()
-    energies["reference"] = correlation_energy(compute_reference(workload))
-
-    cluster, workload = fresh()
-    api.run(workload, runtime="original")
-    energies["original"] = correlation_energy(workload.i2.flat_values())
-
-    for name in sorted(PAPER_VARIANTS):
-        cluster, workload = fresh()
-        api.run(workload, runtime=name)
-        energies[name] = correlation_energy(workload.i2.flat_values())
-
-    values = list(energies.values())
+        for name in names
+    ]
+    executor = SweepExecutor(
+        jobs=jobs, progress=progress, label=f"equivalence[{scale}]"
+    )
+    results, _ = executor.run(cells)
+    energies = {name: results[(name,)] for name in names}
     center = energies["reference"]
-    spread = max(abs(v - center) for v in values) / max(abs(center), 1e-300)
+    spread = max(abs(v - center) for v in energies.values()) / max(
+        abs(center), 1e-300
+    )
     return EquivalenceResult(energies=energies, max_relative_spread=spread)

@@ -19,15 +19,18 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.experiments.calibration import CORE_COUNTS, PAPER_NODES
 from repro.experiments.fig9 import CODES, run_fig9
+from repro.util.errors import ConfigurationError
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_THRESHOLD",
     "PERF_PRESETS",
+    "BaselineDiff",
+    "MissingCell",
     "PerfBaseline",
     "Regression",
     "baseline_path",
@@ -61,6 +64,9 @@ class PerfBaseline:
     #: code -> cores/node -> virtual seconds
     times: dict[str, dict[int, float]] = field(default_factory=dict)
     schema: int = BENCH_SCHEMA_VERSION
+    #: wall-clock accounting of the sweep that produced this baseline;
+    #: host-side diagnostics only, never serialized into BENCH JSON.
+    sweep_stats: Optional[object] = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict:
         return {
@@ -76,6 +82,14 @@ class PerfBaseline:
 
     @classmethod
     def from_dict(cls, d: dict) -> "PerfBaseline":
+        schema = d.get("schema")
+        if schema != BENCH_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"BENCH schema mismatch: file has schema={schema!r}, this "
+                f"build reads schema={BENCH_SCHEMA_VERSION}. Regenerate the "
+                "baseline with `python -m repro perf --update-baseline` "
+                "(or read it with a matching build)."
+            )
         return cls(
             scale=d["scale"],
             n_nodes=d["n_nodes"],
@@ -84,7 +98,7 @@ class PerfBaseline:
                 code: {int(cores): float(t) for cores, t in series.items()}
                 for code, series in d["times"].items()
             },
-            schema=d.get("schema", BENCH_SCHEMA_VERSION),
+            schema=schema,
         )
 
     def write(self, path) -> Path:
@@ -128,42 +142,104 @@ def baseline_path(scale: str, root=None) -> Path:
     return root / f"BENCH_fig9_{scale}.json"
 
 
+@dataclass(frozen=True)
+class MissingCell:
+    """A cell present in the old baseline but absent from the new sweep."""
+
+    code: str
+    #: None when the whole code series vanished (not just one count)
+    cores: Optional[int]
+
+    def describe(self) -> str:
+        if self.cores is None:
+            return f"{self.code}: entire series missing from the new sweep"
+        return f"{self.code}@{self.cores}c: missing from the new sweep"
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of comparing a fresh sweep against a committed baseline.
+
+    A shrunken grid is reported, never silently skipped: every old cell
+    the new sweep no longer covers appears in ``missing`` — otherwise
+    dropping cells would make the regression gate pass vacuously.
+    """
+
+    regressions: list[Regression] = field(default_factory=list)
+    missing: list[MissingCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def __iter__(self):
+        return iter(self.regressions)
+
+    def __len__(self) -> int:
+        return len(self.regressions)
+
+
 def run_perf(
     scale: str = "tiny",
     codes: Sequence[str] = CODES,
     n_nodes: Optional[int] = None,
     core_counts: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> PerfBaseline:
-    """Run the fig9-style sweep at a scale's preset grid."""
-    preset = PERF_PRESETS.get(scale, PERF_PRESETS["tiny"])
+    """Run the fig9-style sweep at a scale's preset grid.
+
+    ``scale`` must name a preset — an unknown scale raises
+    :class:`~repro.util.errors.ConfigurationError` rather than silently
+    falling back to the tiny grid (a typo would otherwise write a bogus
+    baseline). ``jobs`` fans the independent cells out over worker
+    processes; the resulting baseline is byte-identical to ``jobs=1``.
+    """
+    preset = PERF_PRESETS.get(scale)
+    if preset is None:
+        raise ConfigurationError(
+            f"unknown perf scale {scale!r}; choose from {sorted(PERF_PRESETS)}"
+        )
     n_nodes = n_nodes if n_nodes is not None else preset["n_nodes"]
     core_counts = tuple(core_counts if core_counts is not None else preset["core_counts"])
-    result = run_fig9(scale=scale, core_counts=core_counts, codes=codes, n_nodes=n_nodes)
+    result = run_fig9(
+        scale=scale,
+        core_counts=core_counts,
+        codes=codes,
+        n_nodes=n_nodes,
+        jobs=jobs,
+        progress=progress,
+    )
     return PerfBaseline(
         scale=scale,
         n_nodes=n_nodes,
         core_counts=core_counts,
         times=result.times,
+        sweep_stats=result.sweep_stats,
     )
 
 
 def diff_baselines(
     old: PerfBaseline, new: PerfBaseline, threshold: float = DEFAULT_THRESHOLD
-) -> list[Regression]:
-    """Cells of ``new`` slower than ``old`` by more than ``threshold``.
+) -> BaselineDiff:
+    """Compare ``new`` against ``old`` cell by cell.
 
-    Only cells present in both baselines are compared, so growing the
-    grid does not spuriously fail the gate.
+    Returns a :class:`BaselineDiff`: cells of ``new`` slower than
+    ``old`` by more than ``threshold`` land in ``regressions``; cells
+    of ``old`` that ``new`` no longer contains land in ``missing``.
+    Cells only ``new`` has (a grown grid) are ignored.
     """
-    regressions: list[Regression] = []
+    diff = BaselineDiff()
     for code in sorted(old.times):
         new_series = new.times.get(code)
         if new_series is None:
+            diff.missing.append(MissingCell(code, None))
             continue
         for cores, old_time in sorted(old.times[code].items()):
             new_time = new_series.get(cores)
             if new_time is None:
+                diff.missing.append(MissingCell(code, cores))
                 continue
             if new_time > old_time * (1.0 + threshold):
-                regressions.append(Regression(code, cores, old_time, new_time))
-    return regressions
+                diff.regressions.append(Regression(code, cores, old_time, new_time))
+    return diff

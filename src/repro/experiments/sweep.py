@@ -1,0 +1,218 @@
+"""Multi-process sweep execution with a deterministic merge.
+
+Every experiment in this repository — the Figure 9 grid, the perf
+regression gate, the chaos sweep, the equivalence check — is a grid of
+fully *independent* simulation cells: each cell builds a fresh cluster,
+runs one deterministic simulation, and returns pure data. Nothing
+couples the cells at runtime, so they can be dispatched to a process
+pool instead of iterated — the same lesson the source paper draws for
+the chemistry kernels themselves (independent work units are submitted
+to a runtime, not walked in DO loops).
+
+:class:`SweepExecutor` fans a list of :class:`SweepCell` out over a
+``concurrent.futures.ProcessPoolExecutor`` and merges the results
+deterministically:
+
+- every cell carries a unique, ordered **key**;
+- results are collected as futures complete (wall-clock order) but
+  **merged by key in submission order**, so the merged mapping is
+  independent of scheduling;
+- each cell runs a module-level function on picklable arguments and
+  returns picklable data, and each cell's simulation seeds itself — no
+  state flows between cells.
+
+Consequently ``jobs=8`` output is *byte-identical* to the serial sweep:
+BENCH JSON files, :class:`~repro.experiments.fig9.Fig9Result` tables,
+and the golden digests are all unchanged. ``jobs=1`` (the default)
+never spawns a pool and is exactly the old nested loop.
+
+Wall-clock numbers (per-cell and whole-sweep) are recorded in
+:class:`SweepStats` for progress lines and the sweep summary; they are
+**never** mixed into cell results, which stay purely virtual-time.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "SweepCell",
+    "SweepStats",
+    "SweepExecutor",
+    "default_progress",
+]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work.
+
+    ``fn`` must be a module-level callable (picklable by reference) and
+    ``kwargs`` must contain only picklable values; ``key`` identifies
+    the cell in the merged result mapping and fixes its merge order.
+    """
+
+    key: tuple
+    fn: Callable[..., Any]
+    kwargs: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        return "/".join(str(part) for part in self.key)
+
+
+@dataclass
+class SweepStats:
+    """Wall-clock accounting for one sweep (diagnostics only).
+
+    Kept strictly apart from the cell results so the deterministic
+    artifacts (BENCH JSON, tables, reports of the runs themselves)
+    carry no host timing. ``to_report`` packages the summary as an obs
+    :class:`~repro.obs.report.RunReport` with ``runtime="sweep"`` —
+    that report intentionally breaks the usual "no wall-clock" rule
+    because measuring the wall clock is its entire point.
+    """
+
+    label: str
+    jobs: int
+    n_cells: int = 0
+    wall_s: float = 0.0
+    #: cell label -> host seconds spent inside the cell function
+    cell_wall_s: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        busy = sum(self.cell_wall_s.values())
+        concurrency = busy / self.wall_s if self.wall_s > 0 else 1.0
+        return (
+            f"{self.label}: {self.n_cells} cells in {self.wall_s:.2f}s wall "
+            f"with {self.jobs} job(s) (aggregate cell time {busy:.2f}s, "
+            f"mean concurrency {concurrency:.2f}x)"
+        )
+
+    def to_report(self):
+        """The sweep summary as a structured obs RunReport."""
+        from repro.obs.report import RunReport
+
+        return RunReport(
+            runtime="sweep",
+            workload=self.label,
+            execution_time=0.0,
+            n_tasks=self.n_cells,
+            extra={
+                "jobs": self.jobs,
+                "wall_s": round(self.wall_s, 6),
+                "cell_wall_s": {
+                    label: round(seconds, 6)
+                    for label, seconds in sorted(self.cell_wall_s.items())
+                },
+            },
+        )
+
+
+def default_progress(line: str) -> None:
+    """Progress sink for the CLI: stderr, so stdout stays deterministic."""
+    print(line, file=sys.stderr, flush=True)
+
+
+def _run_cell(cell: SweepCell) -> tuple[Any, float]:
+    """Execute one cell, returning (result, host seconds)."""
+    start = time.perf_counter()
+    value = cell.fn(**cell.kwargs)
+    return value, time.perf_counter() - start
+
+
+class SweepExecutor:
+    """Dispatch independent sweep cells, merge results by key.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count. ``1`` runs serially in-process (no pool,
+        no pickling); ``>1`` uses a ``ProcessPoolExecutor``. ``None``
+        or ``0`` means one worker per CPU.
+    progress:
+        Optional callable receiving one human-readable line per
+        finished cell (wall-clock completion order).
+    label:
+        Name used in progress lines and the stats summary.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        progress: Optional[Callable[[str], None]] = None,
+        label: str = "sweep",
+    ) -> None:
+        if jobs is None or jobs == 0:
+            import os
+
+            jobs = os.cpu_count() or 1
+        if jobs < 0:
+            raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs
+        self.progress = progress
+        self.label = label
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[SweepCell]) -> tuple[dict[tuple, Any], SweepStats]:
+        """Execute every cell; returns ``(results, stats)``.
+
+        ``results`` maps ``cell.key`` to the cell function's return
+        value, with keys in **submission order** regardless of which
+        worker finished first — the deterministic-merge contract.
+        """
+        cells = list(cells)
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ConfigurationError(f"duplicate sweep cell keys: {dupes}")
+        stats = SweepStats(label=self.label, jobs=self.jobs, n_cells=len(cells))
+        start = time.perf_counter()
+        if self.jobs == 1 or len(cells) <= 1:
+            by_key = self._run_serial(cells, stats)
+        else:
+            by_key = self._run_pool(cells, stats)
+        stats.wall_s = time.perf_counter() - start
+        # the merge: submission order, not completion order
+        results = {key: by_key[key] for key in keys}
+        return results, stats
+
+    # ------------------------------------------------------------------
+    def _note(self, done: int, total: int, cell: SweepCell, wall: float) -> None:
+        if self.progress is not None:
+            width = len(str(total))
+            self.progress(
+                f"[{done:{width}d}/{total}] {self.label} {cell.label()} "
+                f"done in {wall:.2f}s"
+            )
+
+    def _run_serial(self, cells, stats) -> dict[tuple, Any]:
+        by_key: dict[tuple, Any] = {}
+        for done, cell in enumerate(cells, start=1):
+            value, wall = _run_cell(cell)
+            by_key[cell.key] = value
+            stats.cell_wall_s[cell.label()] = wall
+            self._note(done, len(cells), cell, wall)
+        return by_key
+
+    def _run_pool(self, cells, stats) -> dict[tuple, Any]:
+        by_key: dict[tuple, Any] = {}
+        workers = min(self.jobs, len(cells))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_run_cell, cell): cell for cell in cells}
+            done_count = 0
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    cell = pending.pop(future)
+                    value, wall = future.result()  # re-raises worker errors
+                    by_key[cell.key] = value
+                    stats.cell_wall_s[cell.label()] = wall
+                    done_count += 1
+                    self._note(done_count, len(cells), cell, wall)
+        return by_key
