@@ -27,7 +27,7 @@ The one-call entry point is :func:`repro.run`::
     print(result.report.to_json_line())
 """
 
-from repro.core.api import RunConfig, run
+from repro.core.api import RunConfig, StealPolicy, run
 from repro.core.executor import run_over_parsec
 from repro.core.variants import PAPER_VARIANTS, V1, V2, V3, V4, V5, variant_by_name
 from repro.ga.runtime import GlobalArrays
@@ -43,6 +43,7 @@ __version__ = "1.0.0"
 __all__ = [
     "run",
     "RunConfig",
+    "StealPolicy",
     "run_over_parsec",
     "MetricsRegistry",
     "RunReport",

@@ -68,7 +68,14 @@ def _progress():
 def cmd_fig9(args: argparse.Namespace) -> int:
     from repro.experiments.fig9 import fig9_shape_checks, run_fig9
 
-    result = run_fig9(scale=args.scale, jobs=args.jobs, progress=_progress())
+    result = run_fig9(
+        scale=args.scale,
+        jobs=args.jobs,
+        progress=_progress(),
+        stealing=args.stealing,
+        skew_factor=args.skew_factor,
+        skew_period=args.skew_period,
+    )
     print(result.table())
     print()
     print(result.chart())
@@ -82,6 +89,13 @@ def cmd_fig9(args: argparse.Namespace) -> int:
         print(f"[{status}] {check.name}: {check.detail}")
     if result.sweep_stats is not None:
         print(f"\n{result.sweep_stats.summary()}")
+    if args.stealing or args.skew_factor > 1:
+        print(
+            "\nnote: the shape checks describe the paper's static, "
+            "unskewed configuration; with --stealing/--skew-factor they "
+            "are informational only."
+        )
+        return EXIT_OK
     if args.scale not in ("paper", "full"):
         print(
             "\nnote: the shape checks describe the paper-scale workload; at "
@@ -131,6 +145,7 @@ def cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments.ablations import (
         compare_load_balancing,
         compare_scheduler_policies,
+        compare_work_stealing,
         sweep_priority_offsets,
         sweep_segment_height,
         sweep_write_organization,
@@ -177,6 +192,28 @@ def cmd_ablations(args: argparse.Namespace) -> int:
             ["policy", "time (s)"],
             [[k, f"{v:.3f}"] for k, v in compare_scheduler_policies(scale=args.scale).items()],
             title="Scheduler policy (v4, 7 cores/node)",
+        ),
+        end="\n\n",
+    )
+    steal_scale = "tiny" if args.scale in ("paper", "full") else args.scale
+    steal_grid = compare_work_stealing(scale=steal_scale)
+    print(
+        format_table(
+            ["nodes", "static (s)", "stealing (s)", "speedup", "chains moved"],
+            [
+                [
+                    k,
+                    f"{row['static']:.6f}",
+                    f"{row['stealing']:.6f}",
+                    f"{row['speedup']:.2f}x",
+                    f"{int(row['chains_migrated'])}",
+                ]
+                for k, row in steal_grid.items()
+            ],
+            title=(
+                "Inter-node work stealing vs static placement "
+                f"(skewed {steal_scale} workload, v5, compute-bound machine)"
+            ),
         )
     )
     return EXIT_OK
@@ -272,11 +309,17 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from repro.util.errors import ConfigurationError
 
     try:
-        new = run_perf(scale=args.scale, jobs=args.jobs, progress=_progress())
+        new = run_perf(
+            scale=args.scale,
+            jobs=args.jobs,
+            progress=_progress(),
+            stealing=args.stealing,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    out = args.out or f"BENCH_fig9_{args.scale}.json"
+    suffix = "_stealing" if args.stealing else ""
+    out = args.out or f"BENCH_fig9_{args.scale}{suffix}.json"
     written = new.write(out)
     print(f"wrote {written}")
     print(
@@ -294,6 +337,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
     )
     if new.sweep_stats is not None:
         print(f"\n{new.sweep_stats.summary()}")
+    if args.stealing:
+        # stealing sweeps are a different experiment: their cells are
+        # not comparable to the committed static baselines, and gating
+        # on them would flag phantom regressions (or phantom wins)
+        print(
+            "\nstealing sweep: not comparable to the static baselines; "
+            "skipping the regression gate"
+        )
+        return EXIT_OK
     baseline_file = args.baseline or baseline_path(args.scale)
     if args.update_baseline:
         committed = new.write(baseline_path(args.scale))
@@ -362,6 +414,23 @@ def main(argv: list[str] | None = None) -> int:
     p = subparsers.add_parser("fig9", help="Figure 9 sweep + shape checks")
     _add_scale(p)
     _add_jobs(p)
+    p.add_argument(
+        "--stealing",
+        action="store_true",
+        help="run the PaRSEC codes with inter-node work stealing",
+    )
+    p.add_argument(
+        "--skew-factor",
+        type=int,
+        default=1,
+        help="imbalance knob: repeat selected chains this many times",
+    )
+    p.add_argument(
+        "--skew-period",
+        type=int,
+        default=0,
+        help="skew chains whose id is a multiple of this (0 = no skew)",
+    )
     p.set_defaults(func=cmd_fig9)
 
     p = subparsers.add_parser("traces", help="Figures 10-13 ASCII traces")
@@ -427,6 +496,14 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline",
         action="store_true",
         help="overwrite the committed baseline with this sweep",
+    )
+    p.add_argument(
+        "--stealing",
+        action="store_true",
+        help=(
+            "sweep with inter-node work stealing; writes a _stealing "
+            "BENCH file and skips the (static) regression gate"
+        ),
     )
     _add_jobs(p)
     p.set_defaults(func=cmd_perf)

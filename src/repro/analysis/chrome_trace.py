@@ -11,7 +11,6 @@ name, so the result reads like the paper's Figures 10-13.
 from __future__ import annotations
 
 import json
-from typing import Optional
 
 from repro.sim.trace import TaskCategory, TraceRecorder
 
@@ -28,6 +27,7 @@ _COLOR_NAMES: dict[TaskCategory, str] = {
     TaskCategory.SORT: "vsync_highlight_color",
     TaskCategory.DFILL: "grey",
     TaskCategory.COMM: "thread_state_runnable",
+    TaskCategory.STEAL: "startup",              # orange: migrations stand out
     TaskCategory.NXTVAL: "black",
     TaskCategory.BARRIER: "grey",
     TaskCategory.OTHER: "white",

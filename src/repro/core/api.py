@@ -27,13 +27,14 @@ from repro.ga.runtime import GlobalArrays
 from repro.legacy.runtime import LegacyConfig, LegacyRuntime
 from repro.obs.result import RunResult
 from repro.parsec.runtime import ParsecRuntime
+from repro.parsec.stealing import StealPolicy
 from repro.sim.cluster import Cluster, ClusterConfig, DataMode
 from repro.sim.cost import MachineModel
 from repro.tce.molecules import system_for_scale
 from repro.tce.t2_7 import T27Workload, build_t2_7
 from repro.util.errors import ConfigurationError
 
-__all__ = ["RunConfig", "precompute_inspection", "run"]
+__all__ = ["RunConfig", "StealPolicy", "precompute_inspection", "run"]
 
 #: ``runtime=`` spellings accepted by :func:`run`, besides "parsec".
 _VARIANT_RUNTIMES = ("v1", "v2", "v3", "v4", "v5")
@@ -64,6 +65,15 @@ class RunConfig:
     policy: Optional[object] = None
     #: Legacy runtime knobs (NXTVAL vs static assignment).
     legacy: Optional[LegacyConfig] = None
+    #: PaRSEC: inter-node work stealing over the static chain placement
+    #: (None = disabled, the paper's static distribution).
+    stealing: Optional[StealPolicy] = None
+    #: Workload imbalance knob (see :class:`~repro.tce.terms.TermBuilder`):
+    #: chains with ``chain_id % skew_period == 0`` repeat their GEMM list
+    #: ``skew_factor`` times. Only applies when the facade builds the
+    #: workload from a scale name.
+    skew_factor: int = 1
+    skew_period: int = 0
     #: PaRSEC: share inspected chain metadata across runs of the same
     #: workload structure + node count (the fig9 cores/node sweep). The
     #: phase timer still runs; only the redundant chain walk is skipped.
@@ -86,7 +96,14 @@ def _build_workload(scale: str, config: RunConfig) -> T27Workload:
     )
     ga = GlobalArrays(cluster)
     system = system_for_scale(scale)
-    return build_t2_7(cluster, ga, system.orbital_space(), seed=config.seed)
+    return build_t2_7(
+        cluster,
+        ga,
+        system.orbital_space(),
+        seed=config.seed,
+        skew_factor=config.skew_factor,
+        skew_period=config.skew_period,
+    )
 
 
 def precompute_inspection(
@@ -95,6 +112,8 @@ def precompute_inspection(
     codes: Union[list, tuple] = _VARIANT_RUNTIMES,
     seed: int = 7,
     cache: Optional[InspectionCache] = None,
+    skew_factor: int = 1,
+    skew_period: int = 0,
 ) -> InspectionCache:
     """Fill an :class:`InspectionCache` for a sweep before it runs.
 
@@ -131,6 +150,8 @@ def precompute_inspection(
         data_mode=DataMode.SYNTH,
         metrics=False,
         seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
     )
     workload = _build_workload(scale, config)
     for variant in variants:
@@ -194,7 +215,7 @@ def run(
             )
         with metrics.phase("ptg_build"):
             ptg = build_ccsd_ptg(variant, metadata)
-        prt = ParsecRuntime(cluster, policy=config.policy)
+        prt = ParsecRuntime(cluster, policy=config.policy, stealing=config.stealing)
         with metrics.phase("execution"):
             result = prt.execute(ptg, metadata, validate=config.validate)
         result.variant = variant.name

@@ -183,7 +183,6 @@ def build_ccsd_ptg(variant: VariantSpec, md: Metadata) -> PTG:
     "Global Array agnostic", referring to data through the metadata IDs.
     """
     ptg = PTG(f"ccsd-{variant.name}")
-    P = md.P  # number of participating nodes (the priority expression's P)
 
     def prio(offset: int):
         if not variant.priorities:

@@ -11,6 +11,9 @@
 - :func:`compare_load_balancing` — Section IV-D: NXTVAL global work
   stealing vs static round-robin, on the legacy runtime where both are
   expressible.
+- :func:`compare_work_stealing` — the static chain placement vs the
+  inter-node steal layer (:mod:`repro.parsec.stealing`) on a skewed
+  workload, across node counts.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ __all__ = [
     "sweep_write_organization",
     "compare_load_balancing",
     "compare_scheduler_policies",
+    "compare_work_stealing",
 ]
 
 
@@ -152,4 +156,54 @@ def compare_load_balancing(
     out["parsec-v4 (static nodes + dynamic cores)"] = _variant_time(
         V4, scale, cores_per_node, n_nodes=n_nodes
     )
+    return out
+
+
+def compare_work_stealing(
+    scale: str = "tiny",
+    node_counts: Sequence[int] = (2, 4, 8),
+    cores_per_node: int = 2,
+    skew_factor: int = 6,
+    machine: Optional[MachineModel] = None,
+) -> dict[str, dict[str, float]]:
+    """Static placement vs inter-node stealing on a skewed workload.
+
+    ``skew_period == n_nodes`` parks every lengthened chain on node 0
+    under the round-robin placement — the worst case for the paper's
+    static distribution. The machine defaults to a compute-bound
+    calibration (GEMMs an order of magnitude slower than the paper's)
+    because that is the regime where imbalance shows as makespan; on
+    the comm-bound tiny workload the benefit filter mostly declines to
+    migrate and both columns converge.
+    """
+    from repro.parsec.stealing import StealPolicy
+
+    if machine is None:
+        from repro.experiments.calibration import PAPER_MACHINE
+
+        machine = PAPER_MACHINE.with_overrides(gemm_gflops=1.0)
+    out: dict[str, dict[str, float]] = {}
+    for n_nodes in node_counts:
+        row: dict[str, float] = {}
+        for label, stealing in (
+            ("static", None),
+            ("stealing", StealPolicy()),
+        ):
+            cluster = make_cluster(
+                cores_per_node, n_nodes=n_nodes, machine=machine
+            )
+            workload = make_workload(
+                cluster,
+                scale=scale,
+                skew_factor=skew_factor,
+                skew_period=n_nodes,
+            )
+            result = api.run(
+                workload, variant=V5, config=RunConfig(stealing=stealing)
+            )
+            row[label] = result.execution_time
+            if stealing is not None:
+                row["chains_migrated"] = float(result.chains_migrated)
+        row["speedup"] = row["static"] / row["stealing"]
+        out[f"{n_nodes} nodes"] = row
     return out

@@ -108,8 +108,21 @@ def make_cluster(
     )
 
 
-def make_workload(cluster: Cluster, scale: str = "paper", seed: int = 7) -> T27Workload:
+def make_workload(
+    cluster: Cluster,
+    scale: str = "paper",
+    seed: int = 7,
+    skew_factor: int = 1,
+    skew_period: int = 0,
+) -> T27Workload:
     """The t2_7 workload at a named scale on an existing cluster."""
     system = system_for_scale(scale)
     ga = GlobalArrays(cluster)
-    return build_t2_7(cluster, ga, system.orbital_space(), seed=seed)
+    return build_t2_7(
+        cluster,
+        ga,
+        system.orbital_space(),
+        seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )

@@ -148,16 +148,32 @@ def run_point(
     machine: Optional[MachineModel] = None,
     seed: int = 7,
     inspection_cache: Optional[api.InspectionCache] = None,
+    stealing: bool = False,
+    skew_factor: int = 1,
+    skew_period: int = 0,
 ) -> float:
     """One cell of Figure 9: a fresh cluster, workload, and execution.
 
     ``inspection_cache`` (shared across cells) skips the redundant chain
     walk when the same workload/node-count was already inspected at a
     different cores/node setting — virtual timings are unaffected.
+    ``stealing`` turns on the default :class:`~repro.parsec.stealing.
+    StealPolicy` for the PaRSEC codes (the original/dtd paths ignore
+    it); the skew knobs shape the workload itself, so they apply to
+    every code.
     """
     cluster = make_cluster(cores_per_node, n_nodes=n_nodes, machine=machine)
-    workload = make_workload(cluster, scale=scale, seed=seed)
-    config = api.RunConfig(inspection_cache=inspection_cache)
+    workload = make_workload(
+        cluster,
+        scale=scale,
+        seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )
+    config = api.RunConfig(
+        inspection_cache=inspection_cache,
+        stealing=api.StealPolicy() if stealing else None,
+    )
     return api.run(workload, runtime=code, config=config).execution_time
 
 
@@ -170,6 +186,9 @@ def run_fig9(
     seed: int = 7,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    stealing: bool = False,
+    skew_factor: int = 1,
+    skew_period: int = 0,
 ) -> Fig9Result:
     """The full sweep: every code at every core count.
 
@@ -185,7 +204,14 @@ def run_fig9(
     """
     codes = tuple(codes)
     core_counts = tuple(core_counts)
-    cache = api.precompute_inspection(scale, n_nodes, codes=codes, seed=seed)
+    cache = api.precompute_inspection(
+        scale,
+        n_nodes,
+        codes=codes,
+        seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )
     cells = [
         SweepCell(
             key=(code, cores),
@@ -198,6 +224,9 @@ def run_fig9(
                 machine=machine,
                 seed=seed,
                 inspection_cache=cache,
+                stealing=stealing,
+                skew_factor=skew_factor,
+                skew_period=skew_period,
             ),
         )
         for code in codes

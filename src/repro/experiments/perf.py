@@ -186,6 +186,7 @@ def run_perf(
     core_counts: Optional[Sequence[int]] = None,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    stealing: bool = False,
 ) -> PerfBaseline:
     """Run the fig9-style sweep at a scale's preset grid.
 
@@ -194,6 +195,9 @@ def run_perf(
     falling back to the tiny grid (a typo would otherwise write a bogus
     baseline). ``jobs`` fans the independent cells out over worker
     processes; the resulting baseline is byte-identical to ``jobs=1``.
+    ``stealing`` runs the PaRSEC codes with the default steal policy —
+    such sweeps are *not* comparable to the committed static baselines
+    (the CLI gates on that).
     """
     preset = PERF_PRESETS.get(scale)
     if preset is None:
@@ -209,6 +213,7 @@ def run_perf(
         n_nodes=n_nodes,
         jobs=jobs,
         progress=progress,
+        stealing=stealing,
     )
     return PerfBaseline(
         scale=scale,

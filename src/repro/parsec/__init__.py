@@ -23,6 +23,12 @@ the paper uses it:
 - **Communication thread** (:mod:`repro.parsec.comm`): a dedicated
   per-node service (the paper runs it "on a dedicated core") that
   serializes message processing; all communication is implicit.
+- **Work stealing** (:mod:`repro.parsec.stealing`): an optional
+  victim/thief layer over the static round-robin chain placement —
+  idle nodes send simulated ``STEAL_REQ`` messages through the comm
+  threads and untouched chains migrate whole; READ and WRITE tasks
+  stay on the Global Array owners, so results are bitwise identical
+  with stealing on or off.
 """
 
 from repro.parsec.taskclass import (
@@ -36,6 +42,7 @@ from repro.parsec.taskclass import (
 from repro.parsec.ptg import PTG, TaskGraph
 from repro.parsec.runtime import ParsecResult, ParsecRuntime
 from repro.parsec.scheduler import SchedulerPolicy
+from repro.parsec.stealing import StealCoordinator, StealPolicy
 from repro.parsec.dtd import DtdRuntime, DtdResult, AccessMode, DataHandle
 
 __all__ = [
@@ -50,6 +57,8 @@ __all__ = [
     "ParsecResult",
     "ParsecRuntime",
     "SchedulerPolicy",
+    "StealCoordinator",
+    "StealPolicy",
     "DtdRuntime",
     "DtdResult",
     "AccessMode",

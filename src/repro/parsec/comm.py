@@ -40,10 +40,21 @@ class CommThread:
         self.node = node
         self.engine = runtime.cluster.engine
         self.inbox_name = f"parsec.comm#{runtime.instance_id}"
+        self.ctrl_name = f"parsec.ctrl#{runtime.instance_id}"
         self.messages_processed = 0
         self.engine.process(
             self._serve(), name=f"parsec.comm{node.node_id}#{runtime.instance_id}"
         )
+        if runtime.steal_enabled:
+            # latency-critical control plane: steal REQ/GRANT/DENY must
+            # not queue behind the victim's data-plane backlog, or every
+            # reply arrives after the imbalance it could have fixed.
+            # Only spawned under an active StealPolicy so the extra
+            # process cannot perturb non-stealing virtual timings.
+            self.engine.process(
+                self._serve_ctrl(),
+                name=f"parsec.ctrl{node.node_id}#{runtime.instance_id}",
+            )
 
     def send(
         self,
@@ -61,6 +72,47 @@ class CommThread:
         self.node.inbox(self.inbox_name).put(
             ("send", consumer_key, flow, data, size_bytes, tag)
         )
+
+    def steal_send(self, dest_node: int, payload: tuple, size_bytes: float) -> None:
+        """Enqueue an outgoing work-stealing control message.
+
+        Steal traffic rides the control plane and the shared NIC; it
+        pays the same per-message software overhead and pack rate as
+        dataflow, but is served by its own thread."""
+        self.node.inbox(self.ctrl_name).put(("steal", dest_node, payload, size_bytes))
+
+    def _serve_ctrl(self):
+        """The steal control plane: serve REQ/GRANT/DENY serially."""
+        runtime = self.runtime
+        machine = runtime.cluster.machine
+        inbox = self.node.inbox(self.ctrl_name)
+        network = runtime.cluster.network
+        checkpoint = self.engine.checkpoint
+        while True:
+            ok, item = inbox.try_get()
+            if not ok:
+                item = yield inbox.get()
+            else:
+                yield checkpoint
+            size_bytes = item.size_bytes if isinstance(item, Message) else item[3]
+            service = machine.comm_thread_overhead_s + (
+                size_bytes / machine.comm_pack_bytes_per_s
+            )
+            if service > 0:
+                yield self.engine.timeout(service)
+            self.messages_processed += 1
+            if isinstance(item, Message):
+                runtime.stealing.on_message(self.node.node_id, item.payload)
+            else:
+                _, dest_node, payload, size_bytes = item
+                network.send(
+                    self.node.node_id,
+                    dest_node,
+                    size_bytes,
+                    payload,
+                    inbox=self.ctrl_name,
+                    tag="parsec:steal",
+                )
 
     def _serve(self):
         runtime = self.runtime
@@ -91,6 +143,22 @@ class CommThread:
             if isinstance(item, Message):
                 # incoming: payload is (consumer_key, flow, data, tag)
                 consumer_key, flow, data, tag = item.payload
+                consumer_node = runtime.graph.instances[consumer_key].node
+                if consumer_node != self.node.node_id:
+                    # the consumer moved while this message was in flight
+                    # (stolen chain or crash re-homing): forward one hop
+                    # instead of teleporting the data to the new owner
+                    if runtime.cluster.metrics.enabled:
+                        runtime.cluster.metrics.inc("parsec.forwarded")
+                    network.send(
+                        self.node.node_id,
+                        consumer_node,
+                        item.size_bytes,
+                        item.payload,
+                        inbox=self.inbox_name,
+                        tag=f"parsec:{consumer_key[0]}",
+                    )
+                    continue
                 runtime._deliver(consumer_key, flow, data, tag=tag)
             else:
                 _, consumer_key, flow, data, size_bytes, tag = item

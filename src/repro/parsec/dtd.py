@@ -29,7 +29,7 @@ The measurable costs of the DTD approach (reported by
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.obs.result import RunResult

@@ -38,6 +38,7 @@ from repro.obs.result import RunResult
 from repro.parsec.comm import CommThread
 from repro.parsec.ptg import PTG, TaskGraph
 from repro.parsec.scheduler import NodeScheduler
+from repro.parsec.stealing import StealCoordinator, StealPolicy
 from repro.parsec.taskclass import TaskContext, TaskInstance
 from repro.sim.cluster import Cluster
 from repro.sim.engine import SimEvent
@@ -63,6 +64,13 @@ class ParsecResult(RunResult):
     tasks_reassigned: int = 0
     nodes_crashed: int = 0
     recovery_overhead_s: float = 0.0
+    # work-stealing counters (nonzero only under an active StealPolicy)
+    steal_requests: int = 0
+    steals_granted: int = 0
+    steals_denied: int = 0
+    chains_migrated: int = 0
+    migrated_flops: float = 0.0
+    steal_forwarded_bytes: float = 0.0
     #: which PTG variant ran ('v1'..'v5'), when known
     variant: Optional[str] = None
 
@@ -90,22 +98,35 @@ class ParsecRuntime:
         self,
         cluster: Cluster,
         policy: "SchedulerPolicy | None" = None,
+        stealing: "StealPolicy | None" = None,
     ) -> None:
         from repro.parsec.scheduler import SchedulerPolicy
 
         self.instance_id = next(_instance_ids)
         self.cluster = cluster
         self.policy = policy or SchedulerPolicy.PRIORITY
+        self.steal_policy = stealing
+        self.stealing: Optional[StealCoordinator] = None
         self.graph: Optional[TaskGraph] = None
         self.md: Any = None
         self.schedulers: list[NodeScheduler] = []
         self.comms: list[CommThread] = []
         self.done: Optional[SimEvent] = None
+        self.done_at: Optional[float] = None
         self._completed = 0
         # statistics
         self.messages_remote = 0
         self.bytes_remote = 0.0
         self.deliveries_local = 0
+
+    @property
+    def steal_enabled(self) -> bool:
+        """Whether this run has an active work-stealing layer."""
+        return (
+            self.steal_policy is not None
+            and self.steal_policy.enabled
+            and self.cluster.n_nodes >= 2
+        )
 
     # ------------------------------------------------------------------
     def launch(self, ptg: PTG, md: Any, validate: bool = True) -> SimEvent:
@@ -130,6 +151,11 @@ class ParsecRuntime:
                 )
             )
             self.comms.append(CommThread(self, node))
+        if self.steal_enabled:
+            self.stealing = StealCoordinator(self, self.steal_policy)
+            self.stealing.register_graph(self.graph, md)
+            for scheduler in self.schedulers:
+                scheduler.steal_agent = self.stealing.agents[scheduler.node.node_id]
         if self.cluster.faults is not None:
             self.cluster.faults.on_crash(self._handle_crash)
         if len(self.graph) == 0:
@@ -155,6 +181,10 @@ class ParsecRuntime:
         end_time = self.cluster.run()
         if not done.triggered:
             raise self._stall_error()
+        # the makespan ends when the last task completes; any steal
+        # chatter still in flight after that drains off the clock
+        if self.done_at is not None:
+            end_time = self.done_at
         per_class: dict[str, int] = {}
         for task in self.graph.instances.values():
             per_class[task.cls.name] = per_class.get(task.cls.name, 0) + 1
@@ -166,6 +196,13 @@ class ParsecRuntime:
             bytes_remote=self.bytes_remote,
             deliveries_local=self.deliveries_local,
         )
+        if self.stealing is not None:
+            result.steal_requests = self.stealing.requests
+            result.steals_granted = self.stealing.granted
+            result.steals_denied = self.stealing.denied
+            result.chains_migrated = self.stealing.chains_migrated
+            result.migrated_flops = self.stealing.migrated_flops
+            result.steal_forwarded_bytes = self.stealing.forwarded_bytes
         if faults is not None:
             delta = faults.report.delta(before)
             result.task_retries = delta.task_retries
@@ -254,6 +291,10 @@ class ParsecRuntime:
             task.node = survivors[placed % len(survivors)]
             task.epoch += 1
             task.started = False
+            # a claim pins a task to the worker that popped it; that
+            # worker died with the node, so the pin must not survive
+            # (a still-claimed task would also stay steal-ineligible)
+            task.claimed = False
             placed += 1
             if task.pending == 0:
                 self.schedulers[task.node].enqueue(task)
@@ -290,6 +331,7 @@ class ParsecRuntime:
                     )
         self._completed += 1
         if self._completed == len(self.graph):
+            self.done_at = self.cluster.engine.now
             self.done.succeed()
 
     def _deliver(

@@ -78,6 +78,9 @@ class NodeScheduler:
         self.gpu_ready = make_queue("gpu_ready") if n_gpus > 0 else None
         self.tasks_executed = 0
         self.gpu_tasks_executed = 0
+        #: set by the runtime when a StealPolicy is active; workers
+        #: notify it when they find the ready queue empty
+        self.steal_agent = None
         for thread in range(n_workers):
             self.engine.process(
                 self._worker(thread), name=f"parsec.worker{node.node_id}.{thread}"
@@ -173,11 +176,22 @@ class NodeScheduler:
             # — so virtual timings are bitwise unchanged.
             ok, task = ready.try_get()
             if not ok:
+                if self.steal_agent is not None:
+                    self.steal_agent.notify_idle()
                 task = yield ready.get()
             else:
                 yield checkpoint
             if not node.alive:
                 break  # queued work was re-homed by the crash handler
+            if task.done or task.node != node.node_id:
+                # stale queue entry: the task migrated (work stealing) or
+                # was re-homed while waiting here; its new owner runs it
+                if self.metrics.enabled:
+                    self.metrics.inc("steal.stale_skipped")
+                continue
+            # pin the task to this node before the next yield: a claimed
+            # task is never migrated out from under a ramping-up worker
+            task.claimed = True
             # per-task runtime bookkeeping (select + dependence checks)
             if machine.task_overhead_s > 0:
                 yield self.engine.timeout(machine.task_overhead_s)
@@ -201,6 +215,11 @@ class NodeScheduler:
                 task.label,
                 t_start,
                 self.engine.now,
+                meta=(
+                    {"stolen_from": task.stolen_from}
+                    if task.stolen_from is not None
+                    else None
+                ),
             )
             task.done = True
             self.tasks_executed += 1
@@ -234,6 +253,11 @@ class NodeScheduler:
                 yield checkpoint
             if not node.alive:
                 break  # queued work was re-homed by the crash handler
+            if task.done or task.node != node.node_id:
+                if self.metrics.enabled:  # see _worker: stale queue entry
+                    self.metrics.inc("steal.stale_skipped")
+                continue
+            task.claimed = True  # see _worker: pin before the next yield
             if machine.gpu_task_overhead_s > 0:
                 yield self.engine.timeout(machine.gpu_task_overhead_s)
             yield from self._retry_gate(task)
@@ -269,7 +293,11 @@ class NodeScheduler:
                 task.label,
                 t_start,
                 self.engine.now,
-                meta={"device": f"gpu{gpu}"},
+                meta=(
+                    {"device": f"gpu{gpu}"}
+                    if task.stolen_from is None
+                    else {"device": f"gpu{gpu}", "stolen_from": task.stolen_from}
+                ),
             )
             task.done = True
             self.gpu_tasks_executed += 1

@@ -1,0 +1,435 @@
+"""Inter-node work stealing on top of the static round-robin owner map.
+
+Section IV-D places every chain on ``chain_id % n_nodes`` at inspection
+time; the legacy CGP path it replaced got load balance "for free" from
+NXTVAL work stealing. This module retrofits victim/thief stealing onto
+the PTG runtime so the cost of static placement under imbalance can be
+both measured and recovered:
+
+- Each node has a :class:`StealAgent`. When a worker finds its ready
+  queue empty it notifies the agent, which starts at most one *episode*
+  at a time: a deterministic round-robin rotation over the other nodes,
+  one simulated ``STEAL_REQ`` per victim, bounded by
+  ``StealPolicy.max_rounds`` full rotations.
+- The victim's comm thread answers synchronously from the shared
+  :class:`StealCoordinator`: if it holds at least
+  ``min_victim_backlog`` steal-eligible chains *and* granting still
+  leaves every victim core ``min_backlog_ratio`` times the granted
+  work, it migrates the heaviest eligible
+  one(s) (``task.node`` is rewritten for every chain task) and replies
+  ``STEAL_GRANT`` with the ready task keys and the bytes of any operand
+  data already resident on the victim; otherwise ``STEAL_DENY``.
+- A chain is *steal-eligible* only while its remainder is untouched:
+  every not-yet-done migratable task (DFILL/GEMM/REDUCE/SORT/SORT_I)
+  still lives on the victim, none is started or claimed by a worker,
+  and at least one is ready to run. Done tasks stay where they ran —
+  their outputs were already delivered to the (global) task instances,
+  so only the remaining suffix migrates and any operand bytes already
+  resident on the victim ride the GRANT. READ_A/READ_B stay on the GA
+  owner nodes
+  and WRITE_C stays on the output owner, so the thief pulls tiles
+  through the existing READ machinery (the comm thread re-resolves the
+  consumer's node at send time) and the accumulation site never moves —
+  with ordered tagged accumulation the final Global Array contents are
+  bitwise identical with stealing on or off.
+
+Determinism: every decision is a pure function of simulation state at a
+DES event (no timers, no host randomness), victims rotate in node-id
+order, chains are selected by (flops desc, chain_id asc), and all
+messages ride the simulated network — so a seed reproduces the exact
+same steals, and virtual timings are unchanged when stealing is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.trace import TaskCategory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parsec.runtime import ParsecRuntime
+    from repro.parsec.taskclass import TaskInstance
+
+__all__ = ["MIGRATABLE_CLASSES", "StealPolicy", "StealAgent", "StealCoordinator"]
+
+#: task classes that travel with a stolen chain; READ_* stay on the GA
+#: owners and WRITE_* on the output owners (the determinism argument)
+MIGRATABLE_CLASSES = frozenset({"DFILL", "GEMM", "REDUCE", "SORT", "SORT_I"})
+
+#: opcode tags of steal control messages on the wire
+STEAL_OPCODES = frozenset({"STEAL_REQ", "STEAL_GRANT", "STEAL_DENY"})
+
+
+@dataclass(frozen=True)
+class StealPolicy:
+    """Knobs of the stealing protocol (all deterministic)."""
+
+    enabled: bool = True
+    #: a victim only grants while it still holds at least this many
+    #: eligible chains — a hard floor under the work-based guard below
+    min_victim_backlog: int = 2
+    #: after granting a chain, each victim core must retain at least
+    #: this multiple of the granted chain's flops in eligible backlog.
+    #: This is what makes end-game steals on a *balanced* workload
+    #: (which cost more in grant latency than they recover) die out,
+    #: while a node drowning in a few huge chains still sheds them.
+    min_backlog_ratio: float = 1.5
+    #: chains migrated per successful request
+    max_chains_per_steal: int = 1
+    #: full victim rotations one idle episode may attempt before
+    #: parking until the next idle event
+    max_rounds: int = 2
+    #: chains whose already-resident operand data exceeds this are not
+    #: eligible (None = no cap); forwarded bytes ride the GRANT message
+    max_forward_bytes: Optional[float] = None
+    #: a chain migrates only when its remaining GEMM seconds exceed
+    #: this multiple of the estimated cost of moving its resident
+    #: operand bytes — in comm-bound regimes stealing self-disables
+    #: instead of adding traffic to an already-saturated fabric
+    min_benefit_ratio: float = 2.0
+    #: after an episode where every victim denied, an idle node waits
+    #: this long (virtual) before probing again — a fully-denied moment
+    #: usually means the victims' frontiers were busy, not empty
+    retry_backoff_s: float = 2.0e-5
+    #: simulated sizes of the control messages
+    req_bytes: float = 64.0
+    grant_overhead_bytes: float = 256.0
+
+
+class StealAgent:
+    """Per-node thief: turns idle events into bounded steal episodes."""
+
+    def __init__(self, coordinator: "StealCoordinator", node_id: int) -> None:
+        self.coordinator = coordinator
+        self.node_id = node_id
+        #: round-robin position in the victim rotation (persists across
+        #: episodes so successive episodes probe different victims first)
+        self.cursor = node_id + 1
+        self.episode_active = False
+        self.requests_left = 0
+        #: a backoff timer is pending; workers parked on ``get()`` never
+        #: re-notify, so fully-denied episodes must reschedule themselves
+        self.retry_pending = False
+
+    def notify_idle(self) -> None:
+        """A worker found the ready queue empty; maybe start an episode.
+
+        Called synchronously from worker generators right before they
+        park on ``get()``. At most one episode is in flight per node;
+        further idle notifications while it runs are no-ops.
+        """
+        coord = self.coordinator
+        runtime = coord.runtime
+        if self.episode_active or runtime.done is None or runtime.done.triggered:
+            return
+        if not coord.cluster.nodes[self.node_id].alive:
+            return
+        self.episode_active = True
+        self.requests_left = coord.policy.max_rounds * (coord.n_nodes - 1)
+        self._send_next_request()
+
+    def on_grant(self) -> None:
+        """A grant arrived; end the episode but keep probing while the
+        stolen chain's operands are still in flight (the ready queue
+        stays empty until they land, and parked workers never
+        re-notify)."""
+        self.episode_active = False
+        self._schedule_retry()
+
+    def on_deny(self) -> None:
+        self._send_next_request()
+
+    def _send_next_request(self) -> None:
+        """Fire a STEAL_REQ at the next live victim, or end the episode."""
+        coord = self.coordinator
+        nodes = coord.cluster.nodes
+        n = coord.n_nodes
+        while self.requests_left > 0:
+            self.requests_left -= 1
+            victim = self.cursor % n
+            self.cursor += 1
+            if victim == self.node_id or not nodes[victim].alive:
+                continue
+            coord.note_request()
+            coord.send(
+                self.node_id,
+                victim,
+                ("STEAL_REQ", self.node_id, coord.engine.now),
+                coord.policy.req_bytes,
+            )
+            return
+        self.episode_active = False
+        self._schedule_retry()
+
+    def _schedule_retry(self) -> None:
+        """Probe again after a backoff if this node is still starved."""
+        if self.retry_pending:
+            return
+        self.retry_pending = True
+        self.coordinator.engine.process(
+            self._retry(), name=f"parsec.steal{self.node_id}"
+        )
+
+    def _retry(self):
+        coord = self.coordinator
+        runtime = coord.runtime
+        yield coord.engine.timeout(coord.policy.retry_backoff_s)
+        self.retry_pending = False
+        if runtime.done is None or runtime.done.triggered:
+            return
+        if not coord.cluster.nodes[self.node_id].alive:
+            return
+        if runtime.schedulers[self.node_id].ready_depth() == 0:
+            self.notify_idle()
+
+
+class StealCoordinator:
+    """Shared protocol state: chain index, message handlers, counters."""
+
+    def __init__(self, runtime: "ParsecRuntime", policy: StealPolicy) -> None:
+        self.runtime = runtime
+        self.policy = policy
+        self.cluster = runtime.cluster
+        self.engine = runtime.cluster.engine
+        self.metrics = runtime.cluster.metrics
+        self.n_nodes = runtime.cluster.n_nodes
+        self.agents: dict[int, StealAgent] = {
+            node.node_id: StealAgent(self, node.node_id)
+            for node in runtime.cluster.nodes
+        }
+        #: chain_id -> migratable tasks, in sorted instance-key order
+        self.chain_tasks: dict[int, list["TaskInstance"]] = {}
+        # protocol counters (surfaced on ParsecResult)
+        self.requests = 0
+        self.granted = 0
+        self.denied = 0
+        self.chains_migrated = 0
+        self.migrated_flops = 0.0
+        self.forwarded_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def register_graph(self, graph, md) -> None:
+        """Index the instance table by chain (deterministic sweep order)."""
+        for key in sorted(graph.instances):
+            task = graph.instances[key]
+            if task.cls.name in MIGRATABLE_CLASSES:
+                self.chain_tasks.setdefault(task.params[0], []).append(task)
+
+    # ------------------------------------------------------------------
+    # transport (everything goes through the comm threads + network)
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: tuple, size_bytes: float) -> None:
+        self.runtime.comms[src].steal_send(dst, payload, size_bytes)
+
+    def on_message(self, node_id: int, payload: tuple) -> None:
+        """Dispatch one incoming steal message (in a comm thread)."""
+        opcode = payload[0]
+        if opcode == "STEAL_REQ":
+            _, thief, t_req = payload
+            self._handle_request(node_id, thief, t_req)
+        elif opcode == "STEAL_GRANT":
+            _, thief, victim, chain_ids, ready_keys, t_req = payload
+            self._apply_grant(thief, victim, chain_ids, ready_keys, t_req)
+        elif opcode == "STEAL_DENY":
+            self.agents[payload[1]].on_deny()
+
+    # ------------------------------------------------------------------
+    # victim side
+    # ------------------------------------------------------------------
+    def _remaining(self, chain_id: int) -> list["TaskInstance"]:
+        """The chain's not-yet-done migratable tasks (the stealable suffix)."""
+        return [t for t in self.chain_tasks[chain_id] if not t.done]
+
+    def _remaining_flops(self, tasks: list["TaskInstance"]) -> float:
+        """GEMM flops left in a chain suffix (what a steal actually moves)."""
+        md = self.runtime.md
+        total = 0.0
+        for task in tasks:
+            if task.cls.name == "GEMM":
+                g = md.gemm(*task.params)
+                total += 2.0 * g.m * g.n * g.k
+        return total
+
+    def _eligible_chains(
+        self, victim: int
+    ) -> list[tuple[int, list, float, float]]:
+        """Chains whose remaining suffix is wholly on ``victim`` and
+        untouched (no task started or claimed) — the steal-eligible
+        frontier, as ``(chain_id, tasks, flops, fwd_bytes)`` tuples.
+
+        A chain needs no *ready* task to migrate: rewriting
+        ``task.node`` re-routes all future operand deliveries to the
+        thief, which is exactly what relieves a victim whose NIC — not
+        its cores — is the bottleneck."""
+        machine = self.cluster.machine
+        move_rate = 1.0 / machine.comm_pack_bytes_per_s + 1.0 / (
+            machine.nic_bw_bytes_per_s
+        )
+        eligible = []
+        for chain_id in self.chain_tasks:
+            remaining = self._remaining(chain_id)
+            if not remaining:
+                continue
+            if any(
+                t.node != victim
+                or t.started
+                or t.claimed
+                # never re-steal: a second hop would forward the first
+                # hop's operand bytes again, and chains could bounce
+                # between starved nodes indefinitely
+                or t.stolen_from is not None
+                for t in remaining
+            ):
+                continue
+            fwd = self._forward_bytes(remaining)
+            cap = self.policy.max_forward_bytes
+            if cap is not None and fwd > cap:
+                continue
+            flops = self._remaining_flops(remaining)
+            work_s = flops / (machine.gemm_gflops * 1.0e9)
+            if work_s < self.policy.min_benefit_ratio * fwd * move_rate:
+                continue
+            eligible.append((chain_id, remaining, flops, fwd))
+        return eligible
+
+    def _forward_bytes(self, tasks: list["TaskInstance"]) -> float:
+        """Bytes of operand data already delivered to the chain's tasks
+        (resident on the victim, so they must ride the GRANT)."""
+        md = self.runtime.md
+        total = 0.0
+        for task in tasks:
+            for flow in task.cls.flows:
+                # membership, not value: SYNTH mode delivers None payloads
+                if flow.name not in task.inputs:
+                    continue
+                got = task.inputs[flow.name]
+                count = len(got) if isinstance(got, list) else 1
+                total += 8.0 * count * float(flow.size_elems(task.params, md))
+        return total
+
+    def _handle_request(self, victim: int, thief: int, t_req: float) -> None:
+        """Answer one STEAL_REQ synchronously at the victim."""
+        policy = self.policy
+        runtime = self.runtime
+        grantable: list[tuple[int, list, float, float]] = []
+        if (
+            runtime.done is not None
+            and not runtime.done.triggered
+            and self.cluster.nodes[thief].alive
+        ):
+            eligible = self._eligible_chains(victim)
+            eligible.sort(key=lambda item: (-item[2], item[0]))
+            pool_flops = sum(item[2] for item in eligible)
+            pool = len(eligible)
+            cores = self.cluster.cores_per_node
+            for item in eligible:
+                if len(grantable) >= policy.max_chains_per_steal:
+                    break
+                if pool < policy.min_victim_backlog:
+                    break
+                # work-based guard: after this grant, each victim core
+                # must retain min_backlog_ratio x the granted chain's
+                # flops — end-game steals on a balanced workload die
+                # out, a node drowning in huge chains still sheds them
+                chain_flops = item[2]
+                if (
+                    pool_flops - chain_flops
+                    < policy.min_backlog_ratio * chain_flops * cores
+                ):
+                    continue  # a lighter chain may still pass
+                grantable.append(item)
+                pool_flops -= chain_flops
+                pool -= 1
+        if not grantable:
+            self.denied += 1
+            if self.metrics.enabled:
+                self.metrics.inc("steal.denied")
+            self.send(
+                victim, thief, ("STEAL_DENY", thief, victim, t_req), policy.req_bytes
+            )
+            return
+        ready_keys: list[tuple] = []
+        fwd_bytes = 0.0
+        flops = 0.0
+        chain_ids = [cid for cid, _, _, _ in grantable]
+        for _, tasks, chain_flops, chain_fwd in grantable:
+            fwd_bytes += chain_fwd
+            flops += chain_flops
+            for task in tasks:
+                task.node = thief
+                task.stolen_from = victim
+                if task.pending == 0:
+                    ready_keys.append(task.key)
+        self.granted += 1
+        self.chains_migrated += len(grantable)
+        self.migrated_flops += flops
+        self.forwarded_bytes += fwd_bytes
+        if self.metrics.enabled:
+            self.metrics.inc("steal.granted")
+            self.metrics.inc("steal.chains_migrated", len(grantable))
+            self.metrics.inc("steal.migrated_flops", flops)
+            self.metrics.inc("steal.forwarded_bytes", fwd_bytes)
+        now = self.engine.now
+        self.cluster.trace.record(
+            victim,
+            self.cluster.cores_per_node,  # the comm thread's trace row
+            TaskCategory.STEAL,
+            f"steal.grant->node{thief}",
+            now,
+            now,
+            meta={"thief": thief, "chains": chain_ids, "flops": flops},
+        )
+        self.send(
+            victim,
+            thief,
+            ("STEAL_GRANT", thief, victim, tuple(chain_ids), tuple(ready_keys), t_req),
+            policy.grant_overhead_bytes + fwd_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # thief side
+    # ------------------------------------------------------------------
+    def _apply_grant(
+        self,
+        thief: int,
+        victim: int,
+        chain_ids: tuple,
+        ready_keys: tuple,
+        t_req: float,
+    ) -> None:
+        """Enqueue the stolen ready frontier on the thief.
+
+        Each key is re-checked against current task state: if the thief
+        crashed while the GRANT was in flight, the crash handler already
+        re-homed (and re-enqueued) the migrated tasks, so a stale GRANT
+        must not resurrect them here — that would be the dead-getter
+        class of task loss all over again.
+        """
+        runtime = self.runtime
+        for key in ready_keys:
+            task = runtime.graph.instances[key]
+            if task.done or task.started or task.claimed or task.node != thief:
+                continue
+            runtime.schedulers[thief].enqueue(task)
+        now = self.engine.now
+        if self.metrics.enabled:
+            self.metrics.observe("steal.latency_s", now - t_req)
+        self.cluster.trace.record(
+            thief,
+            self.cluster.cores_per_node,
+            TaskCategory.STEAL,
+            f"steal.recv<-node{victim}",
+            now,
+            now,
+            meta={"victim": victim, "chains": list(chain_ids), "latency_s": now - t_req},
+        )
+        self.agents[thief].on_grant()
+
+    # ------------------------------------------------------------------
+    def note_request(self) -> None:
+        self.requests += 1
+        if self.metrics.enabled:
+            self.metrics.inc("steal.requests")

@@ -144,6 +144,8 @@ class TaskInstance:
         "done",
         "epoch",
         "committed",
+        "claimed",
+        "stolen_from",
     )
 
     def __init__(
@@ -165,6 +167,13 @@ class TaskInstance:
         #: the body's irreversible side effects; committed tasks are
         #: never aborted or re-homed
         self.committed = False
+        #: set synchronously by the worker that pops the task from a
+        #: ready queue; a claimed task is pinned to its node (the work
+        #: stealing layer never migrates it). Cleared on crash re-homing.
+        self.claimed = False
+        #: node the task was stolen from, when the stealing layer
+        #: migrated its chain (None = never migrated); trace-only.
+        self.stolen_from: Optional[int] = None
 
     @property
     def key(self) -> tuple[str, Params]:

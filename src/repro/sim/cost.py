@@ -23,8 +23,7 @@ Costs come in two parts per operation, mirroring how they are charged:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from dataclasses import dataclass, replace
 
 from repro.util.validation import check_non_negative, check_positive
 

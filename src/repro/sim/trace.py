@@ -13,9 +13,9 @@ reduction, light-green write, grey idle).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Iterable, Optional
+from typing import Callable, Optional
 
 __all__ = ["TaskCategory", "TraceEvent", "TraceRecorder"]
 
@@ -31,6 +31,7 @@ class TaskCategory(str, Enum):
     WRITE = "write"        # light green
     DFILL = "dfill"
     COMM = "comm"          # communication (GET_HASH_BLOCK etc.)
+    STEAL = "steal"        # work-stealing protocol events
     NXTVAL = "nxtval"
     BARRIER = "barrier"
     OTHER = "other"

@@ -14,7 +14,7 @@ structure) and for the mixed legacy/PaRSEC integration driver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.tce.orbital_space import OrbitalSpace
 from repro.tce.subroutine import Subroutine

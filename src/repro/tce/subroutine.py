@@ -21,7 +21,7 @@ structure the paper describes for ``icsd_t2_7()``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterator
 

@@ -61,6 +61,8 @@ class T27Workload:
         space: OrbitalSpace,
         seed: int = 7,
         symmetry_filter: bool = True,
+        skew_factor: int = 1,
+        skew_period: int = 0,
     ) -> None:
         self.cluster = cluster
         self.ga = ga
@@ -68,7 +70,12 @@ class T27Workload:
         self.seed = seed
         self.symmetry_filter = symmetry_filter
         self.builder = TermBuilder(
-            ga, space, seed=seed, symmetry_filter=symmetry_filter
+            ga,
+            space,
+            seed=seed,
+            symmetry_filter=symmetry_filter,
+            skew_factor=skew_factor,
+            skew_period=skew_period,
         )
         self.subroutine = self.builder.build(T2_7_SPEC)
         self.va, self.tb = self.builder.operand_tensors(T2_7_SPEC)
@@ -81,6 +88,16 @@ def build_t2_7(
     space: OrbitalSpace,
     seed: int = 7,
     symmetry_filter: bool = True,
+    skew_factor: int = 1,
+    skew_period: int = 0,
 ) -> T27Workload:
     """Convenience constructor for :class:`T27Workload`."""
-    return T27Workload(cluster, ga, space, seed=seed, symmetry_filter=symmetry_filter)
+    return T27Workload(
+        cluster,
+        ga,
+        space,
+        seed=seed,
+        symmetry_filter=symmetry_filter,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )

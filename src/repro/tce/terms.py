@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Optional
 
 from repro.tce.orbital_space import OrbitalSpace
 from repro.tce.subroutine import BlockRef, ChainSpec, GemmOp, SortWrite, Subroutine
@@ -90,11 +89,25 @@ class TermBuilder:
         space: OrbitalSpace,
         seed: int = 7,
         symmetry_filter: bool = True,
+        skew_factor: int = 1,
+        skew_period: int = 0,
     ) -> None:
+        if skew_factor < 1:
+            raise ConfigurationError(f"skew_factor must be >= 1, got {skew_factor}")
+        if skew_period < 0:
+            raise ConfigurationError(f"skew_period must be >= 0, got {skew_period}")
         self.ga = ga
         self.space = space
         self.seed = seed
         self.symmetry_filter = symmetry_filter
+        #: imbalance knob: chains whose id is a multiple of
+        #: ``skew_period`` repeat their GEMM list ``skew_factor`` times.
+        #: With ``skew_period == n_nodes`` every lengthened chain lands
+        #: on node 0 under the round-robin placement — the worst case
+        #: for static distribution, the showcase for work stealing.
+        #: ``skew_period == 0`` (default) disables skew entirely.
+        self.skew_factor = skew_factor
+        self.skew_period = skew_period
         self._tensors: dict[str, BlockTensor] = {}
         self.i2 = self._tensor("i2", "pphh", fill=False)
 
@@ -159,6 +172,7 @@ class TermBuilder:
                             position += 1
                         if not gemms:
                             continue
+                        gemms = self._apply_skew(chain_id, gemms)
                         chains.append(
                             ChainSpec(
                                 chain_id=chain_id,
@@ -190,8 +204,39 @@ class TermBuilder:
                 space.tile_size,
                 self.seed,
                 self.symmetry_filter,
+                self.skew_factor,
+                self.skew_period,
             ),
         )
+
+    def _apply_skew(self, chain_id: int, gemms: list[GemmOp]) -> list[GemmOp]:
+        """Lengthen the chain when the imbalance knob selects it.
+
+        The GEMM list is repeated ``skew_factor`` times with positions
+        renumbered, so a skewed chain does proportionally more flops
+        through the exact same dataflow shape (each repeat gets its own
+        READ tasks and contributes to the same accumulation).
+        """
+        if (
+            self.skew_factor <= 1
+            or self.skew_period <= 0
+            or chain_id % self.skew_period != 0
+        ):
+            return gemms
+        stretched: list[GemmOp] = []
+        for repeat in range(self.skew_factor):
+            for gemm in gemms:
+                stretched.append(
+                    GemmOp(
+                        position=len(stretched),
+                        a=gemm.a,
+                        b=gemm.b,
+                        m=gemm.m,
+                        n=gemm.n,
+                        k=gemm.k,
+                    )
+                )
+        return stretched
 
     def _sort_writes(self, key: tuple[int, int, int, int]) -> tuple[SortWrite, ...]:
         p3b, p4b, h1b, h2b = key

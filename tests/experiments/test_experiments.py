@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.variants import V4
 from repro.experiments.ablations import (
     compare_load_balancing,
     sweep_priority_offsets,

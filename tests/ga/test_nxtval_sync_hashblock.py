@@ -8,7 +8,6 @@ from repro.ga.nxtval import NxtvalServer
 from repro.ga.runtime import GlobalArrays
 from repro.ga.sync import Barrier
 from repro.sim.cluster import Cluster, ClusterConfig
-from repro.sim.cost import MachineModel
 from repro.sim.trace import TaskCategory
 from repro.util.errors import SimulationError
 

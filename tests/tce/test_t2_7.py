@@ -8,7 +8,6 @@ from repro.sim.cluster import Cluster, ClusterConfig, DataMode
 from repro.tce.molecules import (
     SCALE_PRESETS,
     beta_carotene,
-    small_system,
     system_for_scale,
     tiny_system,
 )

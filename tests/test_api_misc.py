@@ -1,6 +1,5 @@
 """API-surface and miscellaneous coverage tests."""
 
-import numpy as np
 import pytest
 
 import repro

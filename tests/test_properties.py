@@ -13,7 +13,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.executor import run_over_parsec
-from repro.core.inspector import _build_reduce_tree, _build_segments, inspect_subroutine
+from repro.core.inspector import _build_reduce_tree, _build_segments
 from repro.core.variants import V1, V5
 from repro.ga.runtime import GlobalArrays
 from repro.ga.sync import Barrier
