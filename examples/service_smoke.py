@@ -1,0 +1,102 @@
+"""Service smoke: kill the daemon mid-life, prove nothing is lost.
+
+Drives the real ``python -m repro serve`` subprocess through the full
+resilience story:
+
+1. start the daemon with a fresh journal,
+2. submit a tiny fig9 job and wait for it to finish,
+3. SIGKILL the daemon — no graceful shutdown, no flush beyond the
+   per-event fsync the journal already did,
+4. restart the daemon over the same journal,
+5. resubmit the same job and assert it is answered from the replayed
+   result cache (``cached: true``, byte-identical payload) without
+   re-running a single simulation.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/service_smoke.py
+
+Exit code 0 means the journal + replay + cache chain held end to end.
+CI runs this on every push (the ``service-smoke`` job).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.serve.client import ServiceClient
+from repro.serve.journal import read_events
+
+JOB_KIND = "fig9"
+JOB_PARAMS = {"codes": ["v5"], "core_counts": [1], "scale": "tiny",
+              "n_nodes": 2}
+
+
+def start_daemon(journal: Path) -> tuple[subprocess.Popen, ServiceClient]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--journal", str(journal), "--jobs", "1"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("serving on "):
+            port = int(line.rsplit(":", 1)[1])
+            return proc, ServiceClient(port=port, timeout_s=10.0)
+        if proc.poll() is not None:
+            raise SystemExit("daemon died during startup")
+    proc.kill()
+    raise SystemExit("daemon never announced readiness")
+
+
+def main() -> int:
+    journal = Path(tempfile.mkdtemp(prefix="repro-serve-")) / "journal.jsonl"
+
+    print("=== first daemon: run the job for real")
+    proc, client = start_daemon(journal)
+    submitted = client.submit(JOB_KIND, JOB_PARAMS)
+    print(f"submitted {submitted['job_id']} (cached={submitted['cached']})")
+    first = client.wait(submitted["job_id"], timeout_s=300.0)
+    assert first["status"] == "done", first
+    assert not first["cached"]
+    print(f"finished: {sorted(first['result'])}")
+
+    print("=== SIGKILL the daemon (no graceful shutdown)")
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=10.0)
+    events = [e["event"] for e in read_events(journal)]
+    assert "daemon_stopped" not in events, "that was not a crash"
+    print(f"journal after crash: {events}")
+
+    print("=== second daemon: replay the journal")
+    proc2, client2 = start_daemon(journal)
+    try:
+        again = client2.submit(JOB_KIND, JOB_PARAMS)
+        print(f"resubmitted -> {again['job_id']} cached={again['cached']}")
+        assert again["cached"], "replayed cache should have answered"
+        assert again["status"] == "done"
+        replayed = client2.result(again["job_id"])
+        assert replayed["result"] == first["result"], "cache changed the bytes"
+        view = client2.metrics()
+        assert view["cache"]["hits"] >= 1
+        print(f"metrics: cache={view['cache']} breaker={view['breaker']}")
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        proc2.wait(timeout=15.0)
+    assert read_events(journal)[-1]["event"] == "daemon_stopped"
+
+    print(json.dumps({"smoke": "ok", "journal_events": len(read_events(journal))}))
+    print("OK: completed job survived SIGKILL and served from cache")
+    return 0
+
+
+if __name__ == "__main__":
+    os.chdir(Path(__file__).resolve().parents[1])
+    sys.exit(main())

@@ -11,11 +11,22 @@ Subcommands regenerate the paper's artifacts without pytest:
 - ``perf``        fig9-style sweep vs a committed BENCH baseline
 - ``info``        workload/scale/machine summary
 
+The simulation service adds four more:
+
+- ``serve``       long-lived daemon executing submitted jobs (journaled,
+  crash-recoverable; see README "Simulation service")
+- ``submit``      send a job to a running daemon
+- ``status``      one job's status, or the daemon overview
+- ``result``      fetch (optionally wait for) a job's result
+
 Exit codes are uniform across subcommands: ``0`` for success (including
 informational runs at non-paper scales), ``1`` when a declared check
 fails (shape checks at paper scale, equivalence digits, chaos recovery,
-perf regressions), and ``2`` for usage/configuration errors (argparse
-rejections and invalid sweep configuration such as an unknown scale).
+perf regressions) or a service request cannot be satisfied, ``2`` for
+usage/configuration errors (argparse rejections and invalid sweep
+configuration such as an unknown scale), and ``130`` when interrupted
+with Ctrl-C (the conventional 128+SIGINT; a ``serve`` daemon flushes
+its journal before exiting, so interrupted work resumes on restart).
 
 The sweep subcommands (``fig9``, ``perf``, ``chaos``) accept
 ``--jobs/-j N`` to fan their independent grid cells out over worker
@@ -35,6 +46,11 @@ EXIT_OK = 0
 EXIT_CHECK_FAILED = 1
 #: invalid usage/configuration (argparse uses the same code)
 EXIT_USAGE = 2
+#: interrupted by Ctrl-C (the shell convention: 128 + SIGINT)
+EXIT_INTERRUPTED = 130
+
+#: default port of the ``repro serve`` daemon
+DEFAULT_SERVE_PORT = 8642
 
 
 def _add_scale(parser: argparse.ArgumentParser, default: str = "paper") -> None:
@@ -230,6 +246,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         jobs=args.jobs,
         progress=_progress(),
+        stealing=args.stealing,
+        codes=args.codes,
     )
     print(f"fault plan: {result.plan_description}\n")
     rows = []
@@ -382,6 +400,139 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_params(pairs: list[str]) -> dict:
+    """``key=value`` pairs to a params dict; values parse as JSON when
+    they can (so ``cores=4``, ``stealing=true``, ``codes=["v5"]`` all
+    work) and fall back to plain strings (``scale=tiny``)."""
+    import json
+
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --param expects key=value, got {pair!r}"
+            )
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the daemon until SIGTERM/SIGINT; exit through os._exit so a
+    wedged worker pool cannot hang the interpreter's atexit joins (the
+    journal is fsynced per event — nothing is lost)."""
+    import os
+    import signal
+
+    from repro.experiments.sweep import RetryPolicy
+    from repro.serve.daemon import ServeDaemon
+
+    daemon = ServeDaemon(
+        journal_path=args.journal,
+        host=args.host,
+        port=args.port,
+        pool_jobs=args.jobs,
+        cell_timeout=args.cell_timeout,
+        retry=RetryPolicy(retries=args.retries),
+    )
+
+    def _on_sigterm(signum, frame):
+        raise SystemExit(EXIT_OK)
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    daemon.start()
+    recovered = daemon.recovered
+    if recovered.jobs:
+        print(
+            f"journal replay: {len(recovered.jobs)} job(s), "
+            f"{len(recovered.pending)} requeued, "
+            f"{len(recovered.results)} cached result(s)",
+            file=sys.stderr,
+        )
+    print(f"serving on {daemon.host}:{daemon.port}", flush=True)
+    rc = EXIT_OK
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        rc = EXIT_INTERRUPTED
+    except SystemExit as exc:
+        rc = int(exc.code or 0)
+    finally:
+        daemon.stop()
+        print("daemon stopped; journal flushed", file=sys.stderr)
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(rc)
+    return rc  # pragma: no cover - os._exit above
+
+
+def _client(args: argparse.Namespace):
+    from repro.serve.client import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServiceError, ServiceUnavailable
+
+    client = _client(args)
+    try:
+        body = client.submit(args.kind, _parse_params(args.param))
+        if args.wait:
+            body = client.wait(body["job_id"], timeout_s=args.timeout)
+    except ServiceUnavailable as exc:
+        print(
+            f"rejected: {exc} (retry after {exc.retry_after_s}s)",
+            file=sys.stderr,
+        )
+        return EXIT_CHECK_FAILED
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE if exc.status == 400 else EXIT_CHECK_FAILED
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServiceError
+
+    client = _client(args)
+    try:
+        body = client.status(args.job_id) if args.job_id else client.overview()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECK_FAILED
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServiceError
+
+    client = _client(args)
+    try:
+        if args.wait:
+            body = client.wait(args.job_id, timeout_s=args.timeout)
+        else:
+            body = client.result(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECK_FAILED
+    print(json.dumps(body, indent=2, sort_keys=True))
+    if body.get("status") in ("queued", "running"):
+        return EXIT_CHECK_FAILED  # asked for a result that isn't ready
+    return EXIT_OK
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.experiments.calibration import PAPER_MACHINE, make_cluster, make_workload
     from repro.tce.molecules import SCALE_PRESETS
@@ -454,6 +605,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--fault-seed", type=int, default=2025, help="master seed of the fault plan"
     )
+    p.add_argument(
+        "--stealing",
+        action="store_true",
+        help=(
+            "run the PaRSEC variants with inter-node work stealing under "
+            "the fault plan (the legacy runtime ignores it)"
+        ),
+    )
+    p.add_argument(
+        "--codes",
+        nargs="+",
+        default=None,
+        metavar="CODE",
+        help="restrict the sweep to these runners (default: all six)",
+    )
     _add_jobs(p)
     p.set_defaults(func=cmd_chaos)
 
@@ -512,8 +678,91 @@ def main(argv: list[str] | None = None) -> int:
     _add_scale(p, default="paper")
     p.set_defaults(func=cmd_info)
 
+    def _add_endpoint(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--host", default="127.0.0.1", help="daemon host")
+        sub.add_argument(
+            "--port", type=int, default=DEFAULT_SERVE_PORT, help="daemon port"
+        )
+
+    p = subparsers.add_parser(
+        "serve", help="run the simulation service daemon"
+    )
+    _add_endpoint(p)
+    p.add_argument(
+        "--journal",
+        default="serve_journal.jsonl",
+        help="append-only JSONL event store (jobs survive restarts)",
+    )
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=2,
+        help="worker processes per job's sweep (default: 2)",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock deadline per cell attempt in seconds",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry budget per cell (timeouts and killed workers)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = subparsers.add_parser("submit", help="submit a job to the daemon")
+    _add_endpoint(p)
+    p.add_argument(
+        "kind", choices=["point", "fig9", "chaos"], help="job kind"
+    )
+    p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "job parameter; values parse as JSON when possible "
+            '(e.g. --param cores=4 --param codes=\'["v5"]\')'
+        ),
+    )
+    p.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait limit in seconds"
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = subparsers.add_parser(
+        "status", help="job status (or daemon overview without a job id)"
+    )
+    _add_endpoint(p)
+    p.add_argument("job_id", nargs="?", default=None, help="job to inspect")
+    p.set_defaults(func=cmd_status)
+
+    p = subparsers.add_parser("result", help="fetch a job's result")
+    _add_endpoint(p)
+    p.add_argument("job_id", help="job to fetch")
+    p.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait limit in seconds"
+    )
+    p.set_defaults(func=cmd_result)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # conventional 128 + SIGINT; partial output may already be on
+        # stdout, the marker goes to stderr
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

@@ -114,7 +114,8 @@ def default_plan(master_seed: int, horizon_s: float, n_nodes: int) -> FaultPlan:
     )
 
 
-def _chaos_run(name, scale, n_nodes, cores_per_node, seed, plan, cache):
+def _chaos_run(name, scale, n_nodes, cores_per_node, seed, plan, cache,
+               stealing=False):
     """One run; returns (i2 values, end time, counter dict)."""
     variant = None if name == "original" else variant_by_name(name)
     cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
@@ -123,9 +124,13 @@ def _chaos_run(name, scale, n_nodes, cores_per_node, seed, plan, cache):
     if plan is not None:
         cluster.install_faults(plan)
     if variant is None:
+        # the legacy runtime has no stealing machinery to exercise
         LegacyRuntime(cluster, workload.ga).execute_subroutine(workload.subroutine)
     else:
-        config = api.RunConfig(inspection_cache=cache)
+        config = api.RunConfig(
+            inspection_cache=cache,
+            stealing=api.StealPolicy() if stealing else None,
+        )
         api.run(workload, variant=variant, config=config)
     counters = asdict(cluster.faults.report) if cluster.faults else {}
     return workload.i2.flat_values(), cluster.engine.now, counters
@@ -139,6 +144,7 @@ def _chaos_cell(
     seed: int,
     fault_seed: int,
     cache=None,
+    stealing: bool = False,
 ) -> tuple[ChaosOutcome, str]:
     """One runner's full triple (reference + two faulted runs).
 
@@ -146,14 +152,14 @@ def _chaos_cell(
     to a worker process; returns the outcome plus the plan description.
     """
     reference, horizon, _ = _chaos_run(
-        name, scale, n_nodes, cores_per_node, seed, None, cache
+        name, scale, n_nodes, cores_per_node, seed, None, cache, stealing
     )
     plan = default_plan(fault_seed, horizon, n_nodes)
     values_a, end_a, counters_a = _chaos_run(
-        name, scale, n_nodes, cores_per_node, seed, plan, cache
+        name, scale, n_nodes, cores_per_node, seed, plan, cache, stealing
     )
     values_b, end_b, counters_b = _chaos_run(
-        name, scale, n_nodes, cores_per_node, seed, plan, cache
+        name, scale, n_nodes, cores_per_node, seed, plan, cache, stealing
     )
     recovered = any(
         counters_a.get(k, 0) > 0
@@ -194,12 +200,21 @@ def run_chaos(
     fault_seed: int = 2025,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    stealing: bool = False,
+    codes: Optional[list[str]] = None,
 ) -> ChaosResult:
-    """The full chaos sweep: legacy plus the five PaRSEC variants."""
-    names = ["original"] + sorted(PAPER_VARIANTS)
+    """The full chaos sweep: legacy plus the five PaRSEC variants.
+
+    ``stealing`` enables the work-stealing policy on the PaRSEC
+    variants, so the chaos triple also exercises the fault x stealing
+    interaction (the legacy runtime ignores it). ``codes`` restricts
+    the sweep to a subset of runners.
+    """
+    names = codes if codes else ["original"] + sorted(PAPER_VARIANTS)
+    parsec = sorted(n for n in names if n != "original")
     cache = api.precompute_inspection(
-        scale, n_nodes, codes=sorted(PAPER_VARIANTS), seed=seed
-    )
+        scale, n_nodes, codes=parsec, seed=seed
+    ) if parsec else None
     cells = [
         SweepCell(
             key=(name,),
@@ -212,6 +227,7 @@ def run_chaos(
                 seed=seed,
                 fault_seed=fault_seed,
                 cache=cache,
+                stealing=stealing,
             ),
         )
         for name in names

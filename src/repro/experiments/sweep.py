@@ -26,6 +26,22 @@ BENCH JSON files, :class:`~repro.experiments.fig9.Fig9Result` tables,
 and the golden digests are all unchanged. ``jobs=1`` (the default)
 never spawns a pool and is exactly the old nested loop.
 
+The pooled path is **self-healing**. A worker process dying (OOM kill,
+segfault in an extension, a stray ``os._exit``) breaks the whole
+``ProcessPoolExecutor``; instead of aborting the sweep, the executor
+respawns the pool, requeues every in-flight cell, and re-runs the
+suspects one at a time so the culprit is identified exactly. A cell
+that demonstrably kills workers twice (``RetryPolicy.max_pool_kills``)
+is quarantined as **poisoned**; a per-cell deadline (``timeout``) kills
+and respawns the pool when a cell hangs, retrying the cell up to
+``RetryPolicy.retries`` times with capped exponential backoff — the
+same discipline :meth:`repro.sim.faults.FaultPlan.backoff` applies to
+simulated retransmits, at the host level. ``on_error`` selects the
+final fate of an unrunnable cell: ``"raise"`` (default — batch runs
+fail loudly) or ``"record"``, which degrades the sweep to a partial
+result by storing a :class:`CellError` under the cell's key while every
+healthy cell's value stays byte-identical to the serial sweep.
+
 Wall-clock numbers (per-cell and whole-sweep) are recorded in
 :class:`SweepStats` for progress lines and the sweep summary; they are
 **never** mixed into cell results, which stay purely virtual-time.
@@ -35,14 +51,21 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from repro.util.errors import ConfigurationError
+from repro.util.backoff import capped_exponential
+from repro.util.errors import ConfigurationError, ReproError
 
 __all__ = [
     "SweepCell",
+    "CellError",
+    "RetryPolicy",
+    "PoisonedCellError",
+    "CellTimeoutError",
     "SweepStats",
     "SweepExecutor",
     "default_progress",
@@ -66,6 +89,72 @@ class SweepCell:
         return "/".join(str(part) for part in self.key)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Host-level retry discipline for crashed or hung cells.
+
+    ``retries`` bounds how many times one cell is re-executed after a
+    deadline expiry or a worker-death requeue; between re-executions the
+    executor sleeps ``delay(attempt)`` — ``base_delay_s * 2**attempt``
+    clamped to ``max_delay_s``, mirroring the simulated
+    :meth:`~repro.sim.faults.FaultPlan.backoff`. ``max_pool_kills`` is
+    the quarantine threshold: a cell that breaks the worker pool that
+    many times (the last one solo, so the culprit is certain) is
+    declared poisoned and never run again.
+    """
+
+    retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    max_pool_kills: int = 2
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.max_pool_kills < 1:
+            raise ConfigurationError(
+                f"max_pool_kills must be >= 1, got {self.max_pool_kills}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-execution number ``attempt + 1``."""
+        return capped_exponential(self.base_delay_s, attempt, self.max_delay_s)
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Explicit per-cell failure record for a degraded (partial) sweep.
+
+    Stored under the cell's key in the merged results when
+    ``on_error="record"``; ``kind`` is ``"poisoned"`` (the cell killed
+    workers ``max_pool_kills`` times), ``"timeout"`` (every attempt
+    overran the deadline), or ``"exception"`` (the cell function
+    raised).
+    """
+
+    key: tuple
+    label: str
+    kind: str
+    message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+class PoisonedCellError(ReproError):
+    """A sweep cell killed its worker process ``max_pool_kills`` times."""
+
+
+class CellTimeoutError(ReproError):
+    """A sweep cell overran its deadline on every allowed attempt."""
+
+
 @dataclass
 class SweepStats:
     """Wall-clock accounting for one sweep (diagnostics only).
@@ -84,33 +173,50 @@ class SweepStats:
     wall_s: float = 0.0
     #: cell label -> host seconds spent inside the cell function
     cell_wall_s: dict[str, float] = field(default_factory=dict)
+    #: cell re-executions after worker death or deadline expiry
+    retries: int = 0
+    #: worker-pool respawns (broken pool or deadline enforcement)
+    pool_kills: int = 0
+    #: cell label -> error kind, for cells that ended in a CellError
+    cell_errors: dict[str, str] = field(default_factory=dict)
 
     def summary(self) -> str:
         busy = sum(self.cell_wall_s.values())
         concurrency = busy / self.wall_s if self.wall_s > 0 else 1.0
-        return (
+        line = (
             f"{self.label}: {self.n_cells} cells in {self.wall_s:.2f}s wall "
             f"with {self.jobs} job(s) (aggregate cell time {busy:.2f}s, "
             f"mean concurrency {concurrency:.2f}x)"
         )
+        if self.retries or self.pool_kills or self.cell_errors:
+            line += (
+                f" [{self.retries} retries, {self.pool_kills} pool kills, "
+                f"{len(self.cell_errors)} failed cells]"
+            )
+        return line
 
     def to_report(self):
         """The sweep summary as a structured obs RunReport."""
         from repro.obs.report import RunReport
 
+        extra = {
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 6),
+            "cell_wall_s": {
+                label: round(seconds, 6)
+                for label, seconds in sorted(self.cell_wall_s.items())
+            },
+        }
+        if self.retries or self.pool_kills or self.cell_errors:
+            extra["retries"] = self.retries
+            extra["pool_kills"] = self.pool_kills
+            extra["cell_errors"] = dict(sorted(self.cell_errors.items()))
         return RunReport(
             runtime="sweep",
             workload=self.label,
             execution_time=0.0,
             n_tasks=self.n_cells,
-            extra={
-                "jobs": self.jobs,
-                "wall_s": round(self.wall_s, 6),
-                "cell_wall_s": {
-                    label: round(seconds, 6)
-                    for label, seconds in sorted(self.cell_wall_s.items())
-                },
-            },
+            extra=extra,
         )
 
 
@@ -124,6 +230,16 @@ def _run_cell(cell: SweepCell) -> tuple[Any, float]:
     start = time.perf_counter()
     value = cell.fn(**cell.kwargs)
     return value, time.perf_counter() - start
+
+
+@dataclass
+class _CellState:
+    """Per-cell recovery bookkeeping (host side, never in results)."""
+
+    #: re-executions consumed (worker-death requeues + timeouts)
+    attempts: int = 0
+    #: worker-pool breaks this cell was in flight for
+    kills: int = 0
 
 
 class SweepExecutor:
@@ -140,6 +256,21 @@ class SweepExecutor:
         finished cell (wall-clock completion order).
     label:
         Name used in progress lines and the stats summary.
+    timeout:
+        Per-cell deadline in host seconds (pooled runs only — a serial
+        run has no second process to enforce it from). A cell past its
+        deadline costs a pool kill: the workers are terminated, the
+        pool respawns, innocent in-flight cells are requeued free of
+        charge, and the hung cell retries under ``retry``.
+    retry:
+        The :class:`RetryPolicy` bounding re-executions, backoff, and
+        the poisoned-cell threshold (default: ``RetryPolicy()``).
+    on_error:
+        ``"raise"`` (default) propagates the first unrunnable cell —
+        poisoned, timed out, or raising — as an exception; ``"record"``
+        stores a :class:`CellError` under the cell's key instead, so
+        the sweep completes as a partial result with every healthy cell
+        intact.
     """
 
     def __init__(
@@ -147,6 +278,10 @@ class SweepExecutor:
         jobs: Optional[int] = 1,
         progress: Optional[Callable[[str], None]] = None,
         label: str = "sweep",
+        *,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        on_error: str = "raise",
     ) -> None:
         if jobs is None or jobs == 0:
             import os
@@ -154,9 +289,18 @@ class SweepExecutor:
             jobs = os.cpu_count() or 1
         if jobs < 0:
             raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        if on_error not in ("raise", "record"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'record', got {on_error!r}"
+            )
         self.jobs = jobs
         self.progress = progress
         self.label = label
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.on_error = on_error
 
     # ------------------------------------------------------------------
     def run(self, cells: Sequence[SweepCell]) -> tuple[dict[tuple, Any], SweepStats]:
@@ -164,7 +308,9 @@ class SweepExecutor:
 
         ``results`` maps ``cell.key`` to the cell function's return
         value, with keys in **submission order** regardless of which
-        worker finished first — the deterministic-merge contract.
+        worker finished first — the deterministic-merge contract. With
+        ``on_error="record"`` a key may map to a :class:`CellError`
+        instead of a value.
         """
         cells = list(cells)
         keys = [cell.key for cell in cells]
@@ -191,28 +337,213 @@ class SweepExecutor:
                 f"done in {wall:.2f}s"
             )
 
+    def _note_event(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(f"{self.label}: {message}")
+
     def _run_serial(self, cells, stats) -> dict[tuple, Any]:
         by_key: dict[tuple, Any] = {}
         for done, cell in enumerate(cells, start=1):
-            value, wall = _run_cell(cell)
+            try:
+                value, wall = _run_cell(cell)
+            except Exception as exc:
+                if self.on_error == "raise":
+                    raise
+                self._record_error(by_key, stats, cell, "exception", str(exc), 1)
+                continue
             by_key[cell.key] = value
             stats.cell_wall_s[cell.label()] = wall
             self._note(done, len(cells), cell, wall)
         return by_key
 
+    # -- pooled path with crash/timeout recovery -----------------------
+    def _record_error(
+        self, by_key, stats: SweepStats, cell: SweepCell, kind: str,
+        message: str, attempts: int,
+    ) -> None:
+        """Finalize one unrunnable cell: record it, or raise."""
+        if self.on_error == "raise":
+            if kind == "poisoned":
+                raise PoisonedCellError(
+                    f"cell {cell.label()} killed its worker process "
+                    f"{attempts} times: {message}"
+                )
+            if kind == "timeout":
+                raise CellTimeoutError(
+                    f"cell {cell.label()} overran its {self.timeout}s deadline "
+                    f"on all {attempts} attempt(s)"
+                )
+            raise  # re-raise the active exception untouched
+        error = CellError(
+            key=cell.key, label=cell.label(), kind=kind,
+            message=message, attempts=attempts,
+        )
+        by_key[cell.key] = error
+        stats.cell_errors[cell.label()] = kind
+        self._note_event(f"cell {cell.label()} failed ({kind}): {message}")
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool, killing workers stuck in a cell body.
+
+        ``shutdown(cancel_futures=True)`` alone only drops *queued*
+        work; a worker wedged inside a cell would keep the process —
+        and interpreter exit — hostage, so the worker processes are
+        terminated first. ``_processes`` is private but stable across
+        the supported CPython versions; if it ever vanishes the
+        shutdown still proceeds, just without the hard kill.
+        """
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.join(timeout=5.0)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
     def _run_pool(self, cells, stats) -> dict[tuple, Any]:
         by_key: dict[tuple, Any] = {}
-        workers = min(self.jobs, len(cells))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_run_cell, cell): cell for cell in cells}
-            done_count = 0
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+        total = len(cells)
+        workers = min(self.jobs, total)
+        retry = self.retry
+        order = {cell.key: i for i, cell in enumerate(cells)}
+        states: dict[tuple, _CellState] = {cell.key: _CellState() for cell in cells}
+        queue: deque[SweepCell] = deque(cells)
+        #: suspects after a pool break, probed one at a time so a
+        #: repeat break names the culprit with certainty
+        solo: deque[SweepCell] = deque()
+        inflight: dict[Future, tuple[SweepCell, float]] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        done_count = 0
+
+        def submit(cell: SweepCell) -> None:
+            deadline = (
+                time.monotonic() + self.timeout
+                if self.timeout is not None
+                else float("inf")
+            )
+            inflight[pool.submit(_run_cell, cell)] = (cell, deadline)
+
+        def respawn() -> ProcessPoolExecutor:
+            stats.pool_kills += 1
+            return ProcessPoolExecutor(max_workers=workers)
+
+        try:
+            while queue or solo or inflight:
+                # fill the window; while suspects are pending, run them
+                # alone (an empty window) so breaks are attributable
+                if solo:
+                    if not inflight:
+                        submit(solo.popleft())
+                else:
+                    while queue and len(inflight) < workers:
+                        submit(queue.popleft())
+                wait_s = None
+                if self.timeout is not None and inflight:
+                    nearest = min(d for _, d in inflight.values())
+                    wait_s = max(0.0, nearest - time.monotonic())
+                finished, _ = wait(
+                    set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
+                victims: list[SweepCell] = []
                 for future in finished:
-                    cell = pending.pop(future)
-                    value, wall = future.result()  # re-raises worker errors
-                    by_key[cell.key] = value
-                    stats.cell_wall_s[cell.label()] = wall
-                    done_count += 1
-                    self._note(done_count, len(cells), cell, wall)
+                    cell, _ = inflight.pop(future)
+                    try:
+                        value, wall = future.result()
+                    except BrokenProcessPool:
+                        victims.append(cell)
+                    except Exception as exc:
+                        done_count += 1
+                        self._record_error(
+                            by_key, stats, cell, "exception", str(exc),
+                            states[cell.key].attempts + 1,
+                        )
+                    else:
+                        done_count += 1
+                        by_key[cell.key] = value
+                        stats.cell_wall_s[cell.label()] = wall
+                        self._note(done_count, total, cell, wall)
+                if victims:
+                    # worker death: every in-flight cell is a suspect
+                    suspects = victims + [c for c, _ in inflight.values()]
+                    suspects.sort(key=lambda c: order[c.key])
+                    inflight.clear()
+                    self._terminate_pool(pool)
+                    pool = respawn()
+                    worst = 0
+                    for cell in suspects:
+                        state = states[cell.key]
+                        if len(suspects) == 1:
+                            # the break is attributable: this cell (and
+                            # only this cell) was in flight
+                            state.kills += 1
+                        worst = max(worst, state.kills, 1)
+                        if state.kills >= retry.max_pool_kills:
+                            done_count += 1
+                            self._record_error(
+                                by_key, stats, cell, "poisoned",
+                                "worker process died while this cell "
+                                "(and only this cell) was running",
+                                state.kills,
+                            )
+                        else:
+                            stats.retries += 1
+                            solo.append(cell)
+                    self._note_event(
+                        f"worker pool died with {len(suspects)} cell(s) in "
+                        f"flight; respawned, re-running suspects solo"
+                    )
+                    time.sleep(retry.delay(worst - 1))
+                    continue
+                if self.timeout is None or not inflight:
+                    continue
+                now = time.monotonic()
+                expired = [
+                    (future, cell)
+                    for future, (cell, deadline) in inflight.items()
+                    if deadline <= now and not future.done()
+                ]
+                if not expired:
+                    continue
+                # deadline enforcement costs the whole pool: terminate,
+                # respawn, requeue the innocents, retry the hung cells
+                survivors = [
+                    cell
+                    for future, (cell, _) in inflight.items()
+                    if not any(future is f for f, _ in expired)
+                ]
+                inflight.clear()
+                self._terminate_pool(pool)
+                pool = respawn()
+                for cell in sorted(survivors, key=lambda c: order[c.key], reverse=True):
+                    queue.appendleft(cell)
+                worst = 0
+                for _, cell in sorted(
+                    expired, key=lambda pair: order[pair[1].key]
+                ):
+                    state = states[cell.key]
+                    state.attempts += 1
+                    worst = max(worst, state.attempts)
+                    if state.attempts > retry.retries:
+                        done_count += 1
+                        self._record_error(
+                            by_key, stats, cell, "timeout",
+                            f"deadline {self.timeout}s exceeded",
+                            state.attempts,
+                        )
+                    else:
+                        stats.retries += 1
+                        self._note_event(
+                            f"cell {cell.label()} overran its deadline "
+                            f"(attempt {state.attempts}); retrying"
+                        )
+                        queue.appendleft(cell)
+                time.sleep(retry.delay(worst - 1))
+        finally:
+            self._terminate_pool(pool)
         return by_key

@@ -1,0 +1,50 @@
+"""`repro serve`: the simulation-as-a-service layer.
+
+Everything below ``repro.serve`` is *host-side* infrastructure — a
+long-lived daemon that accepts run/sweep jobs over local HTTP and
+executes them on the self-healing
+:class:`~repro.experiments.sweep.SweepExecutor` pool. The simulated
+machine stays bitwise deterministic; this package only decides *when*
+and *whether* a simulation runs, never how it behaves:
+
+- :mod:`repro.serve.jobs` — job specs, canonical normalization, and
+  the content-address digest (workload structure x run configuration x
+  seed) that keys the result cache;
+- :mod:`repro.serve.journal` — the append-only JSONL event store that
+  lets queued and completed jobs survive a daemon crash;
+- :mod:`repro.serve.cache` — the content-addressed result cache
+  (repeat queries are free);
+- :mod:`repro.serve.breaker` — the circuit breaker shedding new
+  submissions when the pool saturates or jobs keep failing;
+- :mod:`repro.serve.scheduler` — the admission queue and the worker
+  loop joining all of the above;
+- :mod:`repro.serve.daemon` — the HTTP front end and boot-time journal
+  replay;
+- :mod:`repro.serve.client` — the thin stdlib client used by the
+  ``submit``/``status``/``result`` CLI subcommands.
+"""
+
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.serve.daemon import ServeDaemon
+from repro.serve.jobs import JOB_KINDS, JobSpec, job_digest
+from repro.serve.journal import JOURNAL_SCHEMA_VERSION, Journal
+from repro.serve.scheduler import JobScheduler, SubmissionRejected
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "ServeDaemon",
+    "JOB_KINDS",
+    "JobSpec",
+    "job_digest",
+    "JOURNAL_SCHEMA_VERSION",
+    "Journal",
+    "JobScheduler",
+    "SubmissionRejected",
+]

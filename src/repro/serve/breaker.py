@@ -1,0 +1,163 @@
+"""The circuit breaker: shed load instead of drowning in it.
+
+Classic three-state breaker guarding the admission path of the service:
+
+- **closed** — submissions flow. Job failures (poisoned cells, failed
+  sweeps) are counted in a sliding window; too many trip the breaker.
+- **open** — submissions are rejected immediately with a
+  ``retry_after_s`` hint; after ``cooldown_s`` the breaker half-opens.
+- **half-open** — one probe submission is admitted. Success closes the
+  breaker and clears the failure window; failure re-opens it (the
+  cooldown restarts).
+
+Queue saturation is handled by the same ``admit`` gate but does not
+change the breaker state: a full queue is back-pressure (shed and
+retry), not evidence the backend is sick.
+
+The clock is injected so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.registry import NULL_METRICS, MetricsRegistry
+from repro.util.errors import ConfigurationError
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "Admission"]
+
+#: gauge encoding of the state, for the /metrics view
+_STATE_GAUGE = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip thresholds and recovery pacing."""
+
+    #: submissions (beyond the running job) the queue may hold
+    max_queue_depth: int = 16
+    #: job failures within ``window_s`` that trip the breaker
+    failure_threshold: int = 3
+    window_s: float = 60.0
+    #: open duration before one probe is allowed through
+    cooldown_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s <= 0 or self.window_s <= 0:
+            raise ConfigurationError("cooldown_s and window_s must be > 0")
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission decision. ``retry_after_s`` is set on rejection."""
+
+    allowed: bool
+    reason: str = "ok"
+    retry_after_s: Optional[float] = None
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.state = "closed"
+        self._failures: deque[float] = deque()
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.rejections = 0
+        self._set_gauge()
+
+    # ------------------------------------------------------------------
+    def _set_gauge(self) -> None:
+        self.metrics.gauge_set("serve.breaker.state", _STATE_GAUGE[self.state])
+
+    def _reject(self, reason: str, retry_after_s: float) -> Admission:
+        self.rejections += 1
+        self.metrics.inc("serve.breaker.rejections", reason=reason)
+        return Admission(False, reason, round(max(retry_after_s, 0.1), 3))
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.config.window_s
+        while self._failures and self._failures[0] < horizon:
+            self._failures.popleft()
+
+    # ------------------------------------------------------------------
+    def admit(self, queue_depth: int) -> Admission:
+        """Gate one submission given the current queue depth."""
+        now = self.clock()
+        if self.state == "open":
+            elapsed = now - self._opened_at
+            if elapsed < self.config.cooldown_s:
+                return self._reject("open", self.config.cooldown_s - elapsed)
+            self.state = "half-open"
+            self._probe_inflight = False
+            self._set_gauge()
+        if self.state == "half-open":
+            if self._probe_inflight:
+                return self._reject("half-open", self.config.cooldown_s)
+            self._probe_inflight = True
+            return Admission(True, "probe")
+        if queue_depth >= self.config.max_queue_depth:
+            # back-pressure, not sickness: state stays closed
+            return self._reject("saturated", self.config.cooldown_s)
+        return Admission(True)
+
+    def record_success(self) -> None:
+        """A job finished cleanly."""
+        if self.state == "half-open":
+            self.state = "closed"
+            self._failures.clear()
+            self._probe_inflight = False
+            self._set_gauge()
+
+    def record_failure(self) -> None:
+        """A job failed, was degraded to partial, or poisoned a cell."""
+        now = self.clock()
+        if self.state == "half-open":
+            # the probe failed: back to open, cooldown restarts
+            self.state = "open"
+            self._opened_at = now
+            self._probe_inflight = False
+            self._set_gauge()
+            return
+        self._failures.append(now)
+        self._prune(now)
+        if (
+            self.state == "closed"
+            and len(self._failures) >= self.config.failure_threshold
+        ):
+            self.state = "open"
+            self._opened_at = now
+            self._set_gauge()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        now = self.clock()
+        self._prune(now)
+        d = {
+            "state": self.state,
+            "recent_failures": len(self._failures),
+            "rejections": self.rejections,
+        }
+        if self.state == "open":
+            d["retry_after_s"] = round(
+                max(self.config.cooldown_s - (now - self._opened_at), 0.0), 3
+            )
+        return d

@@ -1,0 +1,57 @@
+"""Content-addressed result cache: repeated queries are free.
+
+Keyed by :func:`~repro.serve.jobs.job_digest` — a sha256 over the
+normalized job spec, which fully determines the workload structure
+token, the run configuration, and the seed of every cell. Because the
+simulations are bitwise deterministic, a digest hit *is* the result;
+no staleness, no invalidation story needed. Only cleanly finished
+(``done``) jobs are cached: a partial result must never satisfy a
+future submission that might complete.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import NULL_METRICS, MetricsRegistry
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """In-memory digest -> result-payload map with hit/miss metrics.
+
+    Persistence comes from the journal, not from here: on boot the
+    daemon replays ``job_finished`` events into :meth:`put`, so the
+    cache is exactly as durable as the journal that feeds it.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._entries: dict[str, dict] = {}
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, digest: str) -> Optional[dict]:
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            self.metrics.inc("serve.cache.misses")
+            return None
+        self.hits += 1
+        self.metrics.inc("serve.cache.hits")
+        return entry
+
+    def put(self, digest: str, payload: dict) -> None:
+        self._entries[digest] = payload
+        self.metrics.gauge_set("serve.cache.entries", float(len(self._entries)))
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses}

@@ -1,0 +1,124 @@
+"""Client for the ``repro serve`` daemon — stdlib ``urllib`` only.
+
+Wraps the small JSON-over-HTTP protocol the daemon speaks so the CLI
+subcommands (``repro submit``/``status``/``result``) and tests never
+hand-roll requests. A 503 from the circuit breaker surfaces as
+:class:`ServiceUnavailable` carrying the daemon's ``retry_after_s``
+hint; every other error status raises :class:`ServiceError` with the
+daemon's message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.util.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+
+
+class ServiceError(ReproError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceUnavailable(ServiceError):
+    """The breaker shed the request; honor ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message, status=503)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642,
+        timeout_s: float = 10.0,
+    ) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                body = {}
+            message = body.get("error", f"HTTP {exc.code}")
+            if exc.code == 503:
+                raise ServiceUnavailable(
+                    message, float(body.get("retry_after_s") or 1.0)
+                ) from None
+            raise ServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach daemon at {self.base}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, params: Optional[dict] = None) -> dict:
+        """POST a job; returns ``{"job_id", "status", "cached"}``."""
+        _, body = self._request(
+            "POST", "/jobs", {"kind": kind, "params": params or {}}
+        )
+        return body
+
+    def status(self, job_id: str) -> dict:
+        _, body = self._request("GET", f"/jobs/{job_id}")
+        return body
+
+    def result(self, job_id: str) -> dict:
+        """The job's result; a still-running job returns its 202 body
+        (``status`` queued/running plus a ``retry_after_s`` hint)."""
+        _, body = self._request("GET", f"/jobs/{job_id}/result")
+        return body
+
+    def wait(self, job_id: str, timeout_s: float = 120.0) -> dict:
+        """Poll until the job reaches a final state; returns the result
+        payload. Raises :class:`ServiceError` on timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            body = self.result(job_id)
+            if body.get("status") not in ("queued", "running"):
+                return body
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {body.get('status')} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(min(float(body.get("retry_after_s") or 0.5),
+                           max(deadline - time.monotonic(), 0.05)))
+
+    def overview(self) -> dict:
+        _, body = self._request("GET", "/jobs")
+        return body
+
+    def metrics(self) -> dict:
+        _, body = self._request("GET", "/metrics")
+        return body
+
+    def health(self) -> bool:
+        try:
+            status, body = self._request("GET", "/healthz")
+        except ServiceError:
+            return False
+        return status == 200 and bool(body.get("ok"))

@@ -1,0 +1,215 @@
+"""The ``repro serve`` daemon: a local HTTP front end over the scheduler.
+
+Stdlib only — a ``ThreadingHTTPServer`` on localhost. HTTP threads are
+the *listener* plane: they parse, consult the scheduler under its lock,
+and answer; all simulation work happens on the scheduler's worker pool.
+
+Routes::
+
+    POST /jobs              {"kind": ..., "params": {...}}
+        202 {"job_id", "status", "cached"}     admitted (or cache hit)
+        503 {"error", "reason", "retry_after_s"}   breaker shed it
+        400 {"error"}                          malformed spec
+    GET  /jobs              overview: queue, breaker, cache, job table
+    GET  /jobs/<id>         one job's status
+    GET  /jobs/<id>/result  200 result | 202 {"status", "retry_after_s"}
+    GET  /metrics           MetricsRegistry snapshot + service gauges
+    GET  /healthz           {"ok": true}
+
+Boot replays the journal (see :mod:`repro.serve.journal`): finished
+jobs repopulate the content-addressed cache and are served without
+re-running; submitted-or-started-but-unfinished jobs are requeued, so
+a SIGKILL loses no job and duplicates no result.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.experiments.sweep import RetryPolicy
+from repro.obs.registry import MetricsRegistry
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
+from repro.serve.cache import ResultCache
+from repro.serve.journal import Journal, read_events, rebuild
+from repro.serve.scheduler import JobScheduler, SubmissionRejected
+from repro.util.errors import ConfigurationError, ReproError
+
+__all__ = ["ServeDaemon"]
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/result)?$")
+
+#: polling hint returned with 202 "not finished yet" responses
+_POLL_HINT_S = 0.5
+
+
+class _Handler(BaseHTTPRequestHandler):
+    daemon: "ServeDaemon"  # injected via the server instance
+
+    # ------------------------------------------------------------------
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # requests are not worth a stderr line each
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        daemon = self.server.daemon  # type: ignore[attr-defined]
+        if self.path == "/healthz":
+            self._send(200, {"ok": True})
+            return
+        if self.path == "/metrics":
+            self._send(200, daemon.metrics_view())
+            return
+        if self.path == "/jobs":
+            self._send(200, daemon.scheduler.overview())
+            return
+        match = _JOB_PATH.match(self.path)
+        if match is None:
+            self._send(404, {"error": f"no such route: {self.path}"})
+            return
+        job_id, want_result = match.group(1), bool(match.group(2))
+        record = daemon.scheduler.get(job_id)
+        if record is None:
+            self._send(404, {"error": f"unknown job {job_id}"})
+            return
+        if not want_result:
+            self._send(200, record.to_status_dict())
+            return
+        if record.status in ("queued", "running"):
+            self._send(
+                202,
+                {"job_id": job_id, "status": record.status,
+                 "retry_after_s": _POLL_HINT_S},
+            )
+            return
+        self._send(200, record.to_result_dict())
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        daemon = self.server.daemon  # type: ignore[attr-defined]
+        if self.path != "/jobs":
+            self._send(404, {"error": f"no such route: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            kind = payload.get("kind")
+            if not isinstance(kind, str):
+                raise ConfigurationError("submission needs a 'kind' string")
+            record = daemon.scheduler.submit(kind, payload.get("params"))
+        except SubmissionRejected as exc:
+            self._send(
+                503,
+                {"error": str(exc), "reason": exc.reason,
+                 "retry_after_s": exc.retry_after_s},
+            )
+        except (ConfigurationError, json.JSONDecodeError, ReproError) as exc:
+            self._send(400, {"error": str(exc)})
+        else:
+            self._send(
+                202,
+                {"job_id": record.job_id, "status": record.status,
+                 "cached": record.cached},
+            )
+
+
+class ServeDaemon:
+    """Journal + cache + breaker + scheduler + HTTP server, assembled.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``
+    after :meth:`start`). The daemon is restart-transparent: point a
+    new instance at the same journal and it resumes where the old one
+    — cleanly stopped or SIGKILLed — left off.
+    """
+
+    def __init__(
+        self,
+        journal_path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_jobs: int = 2,
+        cell_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_config: Optional[BreakerConfig] = None,
+    ) -> None:
+        self.metrics = MetricsRegistry(enabled=True, clock=time.monotonic)
+        recovered = rebuild(read_events(journal_path))
+        self.journal = Journal(journal_path)
+        self.cache = ResultCache(self.metrics)
+        self.breaker = CircuitBreaker(breaker_config, metrics=self.metrics)
+        self.scheduler = JobScheduler(
+            journal=self.journal,
+            cache=self.cache,
+            breaker=self.breaker,
+            metrics=self.metrics,
+            pool_jobs=pool_jobs,
+            cell_timeout=cell_timeout,
+            retry=retry,
+        )
+        self.scheduler.recover(recovered)
+        self.journal.append(
+            "daemon_started",
+            recovered_jobs=len(recovered.pending),
+            recovered_results=len(recovered.results),
+        )
+        self.recovered = recovered
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker; the HTTP loop still needs serve_forever()
+        (or use start_in_thread() for in-process embedding)."""
+        self.scheduler.start()
+
+    def start_in_thread(self) -> None:
+        import threading
+
+        self.start()
+        thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-serve-http",
+            kwargs={"poll_interval": 0.1}, daemon=True,
+        )
+        thread.start()
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.2)
+
+    def stop(self) -> None:
+        """Graceful shutdown: journal the in-flight job for resumption,
+        mark the stop, flush and close the journal, close the socket."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.scheduler.stop()
+        self.journal.append("daemon_stopped", clean=True)
+        self.journal.close()
+        try:
+            self._server.shutdown()
+        except Exception:  # pragma: no cover - shutdown race
+            pass
+        self._server.server_close()
+
+    # ------------------------------------------------------------------
+    def metrics_view(self) -> dict:
+        """The /metrics payload: registry snapshot + live service state."""
+        overview = self.scheduler.overview()
+        return {
+            "metrics": self.metrics.snapshot(),
+            "queue_depth": overview["queue_depth"],
+            "running": overview["running"],
+            "breaker": overview["breaker"],
+            "cache": overview["cache"],
+        }

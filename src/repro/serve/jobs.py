@@ -1,0 +1,287 @@
+"""Job specs: what the service runs, canonicalized and content-addressed.
+
+A job names one of the repository's independent-cell experiments and
+the parameters that fully determine its output. Because every cell is a
+deterministic pure function of its parameters, a job's *result* is a
+pure function of its *normalized spec* — which is what makes the
+content-addressed result cache sound: the digest covers the workload
+structure (kind, scale, skew — the inputs the structure token is
+derived from), the run configuration (codes, node/core geometry,
+stealing), and the seed, so two submissions with the same digest are
+guaranteed the same bytes back.
+
+Job kinds
+---------
+- ``point`` — one :func:`~repro.experiments.fig9.run_point` cell:
+  a single code at a single core count.
+- ``fig9``  — the Figure 9 grid: every requested code at every
+  requested core count, one cell per ``(code, cores)``.
+- ``chaos`` — the fault-injection recovery sweep, one cell per runner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.experiments.sweep import CellError, SweepCell
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "JOB_KINDS",
+    "JobSpec",
+    "job_digest",
+    "build_cells",
+    "serialize_results",
+]
+
+_SCALES = ("tiny", "small", "paper", "full")
+_CODES = ("original", "v1", "v2", "v3", "v4", "v5")
+
+#: kind -> {param: default}. ``None`` defaults are filled per kind.
+_PARAM_DEFAULTS: dict[str, dict[str, Any]] = {
+    "point": {
+        "code": "v5",
+        "cores": 2,
+        "scale": "tiny",
+        "n_nodes": 4,
+        "seed": 7,
+        "stealing": False,
+        "skew_factor": 1,
+        "skew_period": 0,
+    },
+    "fig9": {
+        "codes": list(_CODES),
+        "core_counts": [1, 2],
+        "scale": "tiny",
+        "n_nodes": 4,
+        "seed": 7,
+        "stealing": False,
+        "skew_factor": 1,
+        "skew_period": 0,
+    },
+    "chaos": {
+        "codes": ["original", "v1", "v2", "v3", "v4", "v5"],
+        "scale": "tiny",
+        "n_nodes": 4,
+        "cores_per_node": 2,
+        "seed": 7,
+        "fault_seed": 2025,
+        "stealing": False,
+    },
+}
+
+JOB_KINDS = tuple(_PARAM_DEFAULTS)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One normalized job: ``kind`` plus its full parameter set.
+
+    Build through :meth:`normalize` so that two submissions meaning the
+    same run always carry the same parameters — and therefore the same
+    digest.
+    """
+
+    kind: str
+    params: dict
+
+    @classmethod
+    def normalize(cls, kind: str, params: dict | None = None) -> "JobSpec":
+        """Validate and canonicalize a raw submission."""
+        if kind not in _PARAM_DEFAULTS:
+            raise ConfigurationError(
+                f"unknown job kind {kind!r}: expected one of {JOB_KINDS}"
+            )
+        defaults = _PARAM_DEFAULTS[kind]
+        params = dict(params or {})
+        unknown = sorted(set(params) - set(defaults))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown parameter(s) for {kind!r} job: {unknown} "
+                f"(accepted: {sorted(defaults)})"
+            )
+        merged = {}
+        for name, default in defaults.items():
+            value = params.get(name, default)
+            # canonicalize collection params so [1, 2] == (1, 2)
+            if isinstance(default, list):
+                value = [type(default[0])(v) for v in value]
+            elif isinstance(default, bool):
+                value = bool(value)
+            elif isinstance(default, int):
+                value = int(value)
+            merged[name] = value
+        spec = cls(kind=kind, params=merged)
+        spec._validate()
+        return spec
+
+    def _validate(self) -> None:
+        p = self.params
+        if p["scale"] not in _SCALES:
+            raise ConfigurationError(
+                f"unknown scale {p['scale']!r}: expected one of {_SCALES}"
+            )
+        codes = p["codes"] if "codes" in p else [p["code"]]
+        bad = sorted(set(codes) - set(_CODES))
+        if bad:
+            raise ConfigurationError(
+                f"unknown code(s) {bad}: expected from {_CODES}"
+            )
+        if not codes:
+            raise ConfigurationError("a job needs at least one code")
+        if "core_counts" in p and not p["core_counts"]:
+            raise ConfigurationError("a fig9 job needs at least one core count")
+        for name in ("n_nodes", "cores", "cores_per_node"):
+            if name in p and p[name] < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {p[name]}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        return cls.normalize(d["kind"], d.get("params"))
+
+    def describe(self) -> str:
+        p = self.params
+        return f"{self.kind}[{p['scale']}] seed={p['seed']}"
+
+
+def job_digest(spec: JobSpec) -> str:
+    """The job's content address.
+
+    sha256 over the canonical JSON of the normalized spec. The
+    normalized parameters determine the workload structure token, the
+    RunConfig, and the seed of every cell the job expands to, so equal
+    digests imply byte-identical results.
+    """
+    canonical = json.dumps(
+        spec.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# expanding a spec into sweep cells
+# ----------------------------------------------------------------------
+def build_cells(spec: JobSpec) -> list[SweepCell]:
+    """Expand one job into its independent sweep cells.
+
+    For PaRSEC codes the chain inspection is precomputed here in the
+    daemon process and shipped to the workers (the same
+    :func:`~repro.core.api.precompute_inspection` trick the batch
+    sweeps use), so a grid job pays one chain walk per variant height.
+    """
+    from repro.core import api
+    from repro.experiments.chaos import _chaos_cell
+    from repro.experiments.fig9 import run_point
+
+    p = spec.params
+    if spec.kind == "point":
+        cache = api.precompute_inspection(
+            p["scale"], p["n_nodes"], codes=(p["code"],), seed=p["seed"],
+            skew_factor=p["skew_factor"], skew_period=p["skew_period"],
+        )
+        return [
+            SweepCell(
+                key=(p["code"], p["cores"]),
+                fn=run_point,
+                kwargs=dict(
+                    code=p["code"],
+                    cores_per_node=p["cores"],
+                    scale=p["scale"],
+                    n_nodes=p["n_nodes"],
+                    seed=p["seed"],
+                    inspection_cache=cache,
+                    stealing=p["stealing"],
+                    skew_factor=p["skew_factor"],
+                    skew_period=p["skew_period"],
+                ),
+            )
+        ]
+    if spec.kind == "fig9":
+        cache = api.precompute_inspection(
+            p["scale"], p["n_nodes"], codes=tuple(p["codes"]), seed=p["seed"],
+            skew_factor=p["skew_factor"], skew_period=p["skew_period"],
+        )
+        return [
+            SweepCell(
+                key=(code, cores),
+                fn=run_point,
+                kwargs=dict(
+                    code=code,
+                    cores_per_node=cores,
+                    scale=p["scale"],
+                    n_nodes=p["n_nodes"],
+                    seed=p["seed"],
+                    inspection_cache=cache,
+                    stealing=p["stealing"],
+                    skew_factor=p["skew_factor"],
+                    skew_period=p["skew_period"],
+                ),
+            )
+            for code in p["codes"]
+            for cores in p["core_counts"]
+        ]
+    if spec.kind == "chaos":
+        parsec = [c for c in p["codes"] if c != "original"]
+        cache = api.precompute_inspection(
+            p["scale"], p["n_nodes"], codes=tuple(parsec), seed=p["seed"]
+        )
+        return [
+            SweepCell(
+                key=(name,),
+                fn=_chaos_cell,
+                kwargs=dict(
+                    name=name,
+                    scale=p["scale"],
+                    n_nodes=p["n_nodes"],
+                    cores_per_node=p["cores_per_node"],
+                    seed=p["seed"],
+                    fault_seed=p["fault_seed"],
+                    cache=cache,
+                    stealing=p["stealing"],
+                ),
+            )
+            for name in p["codes"]
+        ]
+    raise ConfigurationError(f"unknown job kind {spec.kind!r}")  # pragma: no cover
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce one cell's return value to plain JSON data."""
+    from dataclasses import asdict, is_dataclass
+
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def serialize_results(
+    cells: list[SweepCell], results: dict[tuple, Any]
+) -> tuple[dict, dict]:
+    """Split a (possibly partial) sweep result into (values, errors).
+
+    Both are JSON-ready mappings keyed by the cell label; ``errors``
+    carries the explicit :class:`CellError` records of a degraded job.
+    """
+    values: dict[str, Any] = {}
+    errors: dict[str, Any] = {}
+    for cell in cells:
+        value = results[cell.key]
+        if isinstance(value, CellError):
+            errors[cell.label()] = value.to_dict()
+        else:
+            values[cell.label()] = _jsonable(value)
+    return values, errors

@@ -1,0 +1,193 @@
+"""The append-only JSONL journal: jobs survive the daemon that ran them.
+
+Every state transition the service cares about is one JSON line,
+appended and fsynced before the transition is acknowledged anywhere
+else. Replay is a pure fold over the lines, so a daemon that was
+SIGKILLed mid-anything reboots into a consistent state: completed jobs
+come back as cache entries, queued and in-flight jobs come back as
+queued (at-least-once execution — results are never duplicated because
+a ``job_finished`` line is the *only* thing that marks a job done).
+
+Record schema (``schema`` = :data:`JOURNAL_SCHEMA_VERSION`)::
+
+    {"schema": 1, "seq": <int>, "event": <type>, ...fields}
+
+Event types and their fields:
+
+- ``daemon_started``  — ``recovered_jobs``, ``recovered_results``
+- ``job_submitted``   — ``job_id``, ``digest``, ``spec`` (normalized)
+- ``job_started``     — ``job_id``
+- ``job_finished``    — ``job_id``, ``status`` (``done``/``partial``/
+  ``failed``), ``result`` (cell values), ``errors`` (per-cell error
+  records), ``cached`` (true when served from the result cache)
+- ``job_requeued``    — ``job_id`` (graceful shutdown marked it for
+  resumption)
+- ``daemon_stopped``  — ``clean`` (always true; a crash writes nothing)
+
+The reader is tolerant: a torn final line (the daemon died mid-write)
+or a corrupt line is skipped and counted, never fatal — losing one
+unacknowledged event is the crash semantics the at-least-once replay
+already absorbs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "Journal", "RecoveredState", "rebuild"]
+
+#: Bump when the record shape changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class Journal:
+    """Append-only event store over one JSONL file.
+
+    ``append`` assigns the next sequence number, writes the line, and
+    flushes + fsyncs before returning — the journal is the source of
+    truth, so nothing may be acknowledged before it is durable.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        existing = read_events(self.path) if self.path.exists() else []
+        self._seq = max((e["seq"] for e in existing), default=0)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[object] = open(self.path, "a", encoding="utf-8")
+
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`append` will assign.
+
+        Used to mint job ids (``j<seq>``) that match their
+        ``job_submitted`` record and stay unique across restarts —
+        replay restores the counter from the highest seq on disk.
+        """
+        return self._seq + 1
+
+    def append(self, event: str, **fields) -> dict:
+        """Durably append one event; returns the full record."""
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self._seq += 1
+        record = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "seq": self._seq,
+            "event": event,
+            **fields,
+        }
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> list[dict]:
+    """All intact events in the journal, in append order.
+
+    Torn or corrupt lines are skipped (see the module docstring);
+    events from a future schema raise so an old daemon never
+    misinterprets a new journal.
+    """
+    events: list[dict] = []
+    path = Path(path)
+    if not path.exists():
+        return events
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn write from a crash mid-append
+        if not isinstance(record, dict) or "event" not in record:
+            continue
+        schema = record.get("schema", 0)
+        if schema > JOURNAL_SCHEMA_VERSION:
+            raise ValueError(
+                f"journal {path} has schema {schema}; this daemon "
+                f"understands up to {JOURNAL_SCHEMA_VERSION}"
+            )
+        events.append(record)
+    return events
+
+
+@dataclass
+class RecoveredState:
+    """What a journal replay reconstructs.
+
+    ``jobs`` maps job id to its last-known record (``spec``,
+    ``digest``, ``status``, and for finished jobs ``result``/
+    ``errors``), in submission order. ``pending`` lists the job ids
+    that must be re-executed — submitted or started but never finished
+    (including explicitly requeued ones). ``results`` maps digests of
+    cleanly finished (``done``) jobs to their result payloads for the
+    cache.
+    """
+
+    jobs: dict[str, dict] = field(default_factory=dict)
+    pending: list[str] = field(default_factory=list)
+    results: dict[str, dict] = field(default_factory=dict)
+
+
+def rebuild(events: list[dict]) -> RecoveredState:
+    """Fold the journal into the state a rebooting daemon resumes from.
+
+    At-least-once semantics: any job without a ``job_finished`` event
+    is pending again, whether it was queued, running, or explicitly
+    requeued at shutdown. Exactly-once *results*: a finished job is
+    final — replay never re-runs it, and its digest entry repopulates
+    the content-addressed cache (only ``done`` jobs: a ``partial`` or
+    ``failed`` payload must not satisfy future submissions that might
+    succeed).
+    """
+    state = RecoveredState()
+    for record in events:
+        event = record["event"]
+        job_id = record.get("job_id")
+        if event == "job_submitted":
+            state.jobs[job_id] = {
+                "job_id": job_id,
+                "spec": record["spec"],
+                "digest": record["digest"],
+                "status": "queued",
+            }
+        elif event == "job_started":
+            if job_id in state.jobs:
+                state.jobs[job_id]["status"] = "running"
+        elif event == "job_requeued":
+            if job_id in state.jobs:
+                state.jobs[job_id]["status"] = "queued"
+        elif event == "job_finished":
+            job = state.jobs.get(job_id)
+            if job is None:
+                continue
+            job["status"] = record["status"]
+            job["result"] = record.get("result", {})
+            job["errors"] = record.get("errors", {})
+            job["cached"] = bool(record.get("cached", False))
+            if record["status"] == "done":
+                state.results[job["digest"]] = {
+                    "result": job["result"],
+                    "errors": job["errors"],
+                }
+    state.pending = [
+        job_id
+        for job_id, job in state.jobs.items()
+        if job["status"] in ("queued", "running")
+    ]
+    return state

@@ -1,0 +1,329 @@
+"""Admission queue and worker loop: where jobs meet the executor pool.
+
+The scheduler is the control plane of the service — the same
+listener/worker split TaskTorrent and DuctTeip use to keep admission
+responsive while a pool churns: HTTP threads only ever touch the
+in-memory job table under a lock (microseconds), while one worker
+thread drains the queue and runs each job's cells on the self-healing
+:class:`~repro.experiments.sweep.SweepExecutor`.
+
+Robustness invariants:
+
+- every state transition is journaled *before* it is acknowledged;
+- a job whose cells all succeed is ``done`` and enters the
+  content-addressed cache; a job with poisoned/timed-out cells is
+  degraded to ``partial`` — explicit per-cell error records, healthy
+  cells byte-identical to a clean run — and is *not* cached;
+- submissions pass the circuit breaker, which sheds load with a
+  retry-after hint when the queue saturates or jobs keep failing;
+- a submission whose digest matches a job already queued or running is
+  coalesced onto that job instead of duplicating the work.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.sweep import RetryPolicy, SweepExecutor
+from repro.obs.registry import NULL_METRICS, MetricsRegistry
+from repro.serve.breaker import Admission, CircuitBreaker
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobSpec, build_cells, job_digest, serialize_results
+from repro.serve.journal import Journal, RecoveredState
+from repro.util.errors import ReproError
+
+__all__ = ["JobRecord", "JobScheduler", "SubmissionRejected"]
+
+
+class SubmissionRejected(ReproError):
+    """The breaker shed this submission; retry after ``retry_after_s``."""
+
+    def __init__(self, admission: Admission) -> None:
+        super().__init__(
+            f"submission rejected ({admission.reason}); "
+            f"retry after {admission.retry_after_s}s"
+        )
+        self.reason = admission.reason
+        self.retry_after_s = admission.retry_after_s
+
+
+@dataclass
+class JobRecord:
+    """One job's live state in the scheduler's table."""
+
+    job_id: str
+    spec: JobSpec
+    digest: str
+    status: str  # queued | running | done | partial | failed
+    cached: bool = False
+    cells_total: int = 0
+    cells_done: int = 0
+    result: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
+
+    def to_status_dict(self) -> dict:
+        d = {
+            "job_id": self.job_id,
+            "kind": self.spec.kind,
+            "status": self.status,
+            "digest": self.digest,
+            "cached": self.cached,
+        }
+        if self.cells_total:
+            d["cells_total"] = self.cells_total
+            d["cells_done"] = self.cells_done
+        if self.errors:
+            d["error_cells"] = sorted(self.errors)
+        return d
+
+    def to_result_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "cached": self.cached,
+            "result": self.result,
+            "errors": self.errors,
+        }
+
+
+class JobScheduler:
+    """Job table + FIFO queue + one worker thread over the executor."""
+
+    def __init__(
+        self,
+        journal: Journal,
+        cache: Optional[ResultCache] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        pool_jobs: int = 2,
+        cell_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.journal = journal
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.cache = cache if cache is not None else ResultCache(self.metrics)
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            metrics=self.metrics
+        )
+        self.pool_jobs = pool_jobs
+        self.cell_timeout = cell_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.jobs: dict[str, JobRecord] = {}
+        self._queue: list[str] = []
+        self._pending_by_digest: dict[str, str] = {}
+        self._running_id: Optional[str] = None
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._worker, name="repro-serve-worker", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Graceful stop: mark the in-flight job for resumption.
+
+        The journal gets a ``job_requeued`` line for a job caught
+        mid-run, so the next boot re-executes it; queued jobs need no
+        extra event (submitted-but-not-finished already replays as
+        pending).
+        """
+        with self._wake:
+            self._stop = True
+            if self._running_id is not None:
+                self.journal.append("job_requeued", job_id=self._running_id)
+            self._wake.notify_all()
+
+    def recover(self, state: RecoveredState) -> None:
+        """Adopt a journal replay: results to the cache, pending to the
+        queue, finished jobs served straight from their records."""
+        with self._lock:
+            for digest, payload in state.results.items():
+                self.cache.put(digest, payload)
+            for job_id, job in state.jobs.items():
+                spec = JobSpec.from_dict(job["spec"])
+                record = JobRecord(
+                    job_id=job_id,
+                    spec=spec,
+                    digest=job["digest"],
+                    status=job["status"],
+                    cached=bool(job.get("cached", False)),
+                    result=job.get("result", {}),
+                    errors=job.get("errors", {}),
+                )
+                self.jobs[job_id] = record
+                if record.status in ("queued", "running"):
+                    record.status = "queued"
+                    self._queue.append(job_id)
+                    self._pending_by_digest.setdefault(record.digest, job_id)
+            self._gauges()
+            self._wake.notify_all()
+
+    # ------------------------------------------------------------------
+    # admission (called from HTTP threads)
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, params: Optional[dict] = None) -> JobRecord:
+        """Admit one submission; raises :class:`SubmissionRejected` when
+        the breaker sheds it. Cache hits and coalesced duplicates are
+        admitted unconditionally — they add no work."""
+        spec = JobSpec.normalize(kind, params)
+        digest = job_digest(spec)
+        with self._lock:
+            self.metrics.inc("serve.jobs.submitted", kind=kind)
+            cached = self.cache.get(digest)
+            if cached is not None:
+                job_id = f"j{self.journal.next_seq():06d}"
+                record = JobRecord(
+                    job_id=job_id,
+                    spec=spec,
+                    digest=digest,
+                    status="done",
+                    cached=True,
+                    result=cached.get("result", {}),
+                    errors=cached.get("errors", {}),
+                )
+                self.jobs[job_id] = record
+                self.journal.append(
+                    "job_submitted", job_id=job_id, digest=digest,
+                    spec=spec.to_dict(),
+                )
+                self.journal.append(
+                    "job_finished", job_id=job_id, status="done",
+                    result=record.result, errors=record.errors, cached=True,
+                )
+                self.metrics.inc("serve.jobs.completed", status="done")
+                return record
+            pending = self._pending_by_digest.get(digest)
+            if pending is not None:
+                return self.jobs[pending]  # coalesce identical work
+            admission = self.breaker.admit(self._depth())
+            if not admission.allowed:
+                raise SubmissionRejected(admission)
+            job_id = f"j{self.journal.next_seq():06d}"
+            record = JobRecord(
+                job_id=job_id, spec=spec, digest=digest, status="queued"
+            )
+            self.jobs[job_id] = record
+            self.journal.append(
+                "job_submitted", job_id=job_id, digest=digest,
+                spec=spec.to_dict(),
+            )
+            self._queue.append(job_id)
+            self._pending_by_digest[digest] = job_id
+            self._gauges()
+            self._wake.notify_all()
+            return record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def overview(self) -> dict:
+        with self._lock:
+            return {
+                "queue_depth": self._depth(),
+                "running": self._running_id,
+                "jobs": [r.to_status_dict() for r in self.jobs.values()],
+                "breaker": self.breaker.to_dict(),
+                "cache": self.cache.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+    def _depth(self) -> int:
+        return len(self._queue) + (1 if self._running_id is not None else 0)
+
+    def _gauges(self) -> None:
+        self.metrics.gauge_set("serve.queue.depth", float(len(self._queue)))
+        self.metrics.gauge_set(
+            "serve.jobs.inflight", 1.0 if self._running_id else 0.0
+        )
+
+    def _on_progress(self, record: JobRecord, line: str) -> None:
+        if " done in " in line:
+            with self._lock:
+                record.cells_done += 1
+
+    def _worker(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._stop:
+                    self._wake.wait()
+                if self._stop:
+                    return
+                job_id = self._queue.pop(0)
+                record = self.jobs[job_id]
+                record.status = "running"
+                self._running_id = job_id
+                self._gauges()
+            self.journal.append("job_started", job_id=job_id)
+            try:
+                self._execute(record)
+            except Exception as exc:  # noqa: BLE001 - the loop must live
+                self._finish(
+                    record, "failed", {},
+                    {"_job": {"kind": "exception", "message": str(exc),
+                              "label": "_job", "attempts": 1}},
+                )
+            finally:
+                with self._wake:
+                    self._running_id = None
+                    self._pending_by_digest.pop(record.digest, None)
+                    self._gauges()
+
+    def _execute(self, record: JobRecord) -> None:
+        cells = build_cells(record.spec)
+        with self._lock:
+            record.cells_total = len(cells)
+            record.cells_done = 0
+        executor = SweepExecutor(
+            jobs=min(self.pool_jobs, max(len(cells), 1)),
+            progress=lambda line: self._on_progress(record, line),
+            label=record.job_id,
+            timeout=self.cell_timeout,
+            retry=self.retry,
+            on_error="record",
+        )
+        results, stats = executor.run(cells)
+        values, errors = serialize_results(cells, results)
+        if stats.retries:
+            self.metrics.inc("serve.cells.retried", value=float(stats.retries))
+        if stats.pool_kills:
+            self.metrics.inc("serve.pool.kills", value=float(stats.pool_kills))
+        poisoned = sum(1 for e in errors.values() if e["kind"] == "poisoned")
+        if poisoned:
+            self.metrics.inc("serve.cells.poisoned", value=float(poisoned))
+        if not errors:
+            status = "done"
+        elif values:
+            status = "partial"
+        else:
+            status = "failed"
+        self._finish(record, status, values, errors)
+
+    def _finish(
+        self, record: JobRecord, status: str, values: dict, errors: dict
+    ) -> None:
+        self.journal.append(
+            "job_finished", job_id=record.job_id, status=status,
+            result=values, errors=errors, cached=False,
+        )
+        with self._lock:
+            record.status = status
+            record.result = values
+            record.errors = errors
+            if status == "done":
+                self.cache.put(record.digest, {"result": values, "errors": {}})
+                self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
+            self.metrics.inc("serve.jobs.completed", status=status)

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
+from repro.util.backoff import capped_exponential
 from repro.util.errors import ConfigurationError, TaskKilled
 from repro.util.rng import derive_seed
 
@@ -103,6 +104,12 @@ class FaultPlan:
     msg_delay_s: float = 5.0e-6
     #: base ack timeout before the first retransmission
     retransmit_timeout_s: float = 2.0e-5
+    #: ceiling on one retransmit backoff: ``backoff(attempt)`` never
+    #: exceeds this, however high the attempt count climbs. The default
+    #: (100x the base timeout) is above ``base * 2**(max_retransmits)``
+    #: for the default plan, so capped and uncapped schedules coincide
+    #: unless a plan raises ``max_retransmits`` past 6.
+    max_backoff_s: float = 2.0e-3
     #: drops beyond this attempt count are suppressed (bounded recovery)
     max_retransmits: int = 6
     stragglers: tuple[Straggler, ...] = ()
@@ -115,6 +122,11 @@ class FaultPlan:
                 raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
         if self.drop_prob + self.delay_prob + self.dup_prob > 1.0:
             raise ConfigurationError("message fate probabilities sum past 1")
+        if self.max_backoff_s < self.retransmit_timeout_s:
+            raise ConfigurationError(
+                f"max_backoff_s ({self.max_backoff_s:g}) is below the base "
+                f"retransmit timeout ({self.retransmit_timeout_s:g})"
+            )
 
     # -- stateless seeded decisions --------------------------------------
     def _uniform(self, key: str) -> float:
@@ -139,8 +151,16 @@ class FaultPlan:
         return "ok"
 
     def backoff(self, attempt: int) -> float:
-        """Ack-timeout before retransmission ``attempt + 1`` (exponential)."""
-        return self.retransmit_timeout_s * (2.0**attempt)
+        """Ack-timeout before retransmission ``attempt + 1``.
+
+        Exponential in the attempt count but clamped to
+        ``max_backoff_s`` — unbounded doubling would overflow a float
+        past ~1024 attempts and, long before that, park a message for
+        longer than the whole simulation horizon.
+        """
+        return capped_exponential(
+            self.retransmit_timeout_s, attempt, self.max_backoff_s
+        )
 
     def describe(self) -> str:
         parts = [

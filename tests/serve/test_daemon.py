@@ -1,0 +1,212 @@
+"""The daemon over HTTP: routes, shedding, and crash recovery.
+
+Everything here runs in-process on an ephemeral port with stubbed
+cells, so the full listener -> scheduler -> journal stack is exercised
+without subprocess orchestration (the subprocess SIGKILL acceptance
+test lives in ``test_service_restart.py``).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.experiments.sweep import RetryPolicy, SweepCell
+from repro.serve.breaker import BreakerConfig
+from repro.serve.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.serve.daemon import ServeDaemon
+from repro.serve.journal import read_events
+
+#: released by tests that park the worker on a blocking cell
+_GATE = threading.Event()
+
+
+def _ok(value):
+    return {"value": value}
+
+
+def _blocked(value):
+    _GATE.wait(timeout=30.0)
+    return {"value": value}
+
+
+def _fake_cells(spec):
+    seed = spec.params["seed"]
+    fn = _blocked if seed >= 500 else _ok
+    return [SweepCell(key=(f"c{i}",), fn=fn, kwargs=dict(value=i))
+            for i in range(max(seed % 10, 1))]
+
+
+@pytest.fixture(autouse=True)
+def _stub_cells(monkeypatch):
+    monkeypatch.setattr("repro.serve.scheduler.build_cells", _fake_cells)
+    _GATE.clear()
+    yield
+    _GATE.set()  # unblock any parked worker so threads drain
+
+
+def _daemon(tmp_path, **kwargs):
+    kwargs.setdefault("pool_jobs", 1)
+    kwargs.setdefault(
+        "retry", RetryPolicy(retries=0, base_delay_s=0.0, max_delay_s=0.0)
+    )
+    daemon = ServeDaemon(tmp_path / "journal.jsonl", port=0, **kwargs)
+    daemon.start_in_thread()
+    return daemon, ServiceClient(port=daemon.port, timeout_s=5.0)
+
+
+class TestRoutes:
+    def test_health_and_metrics(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            assert client.health()
+            view = client.metrics()
+            assert view["queue_depth"] == 0
+            assert view["breaker"]["state"] == "closed"
+            assert "counters" in view["metrics"]
+        finally:
+            daemon.stop()
+
+    def test_submit_wait_result_roundtrip(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 3})
+            assert sub["status"] in ("queued", "running", "done")
+            body = client.wait(sub["job_id"], timeout_s=10.0)
+            assert body["status"] == "done"
+            assert body["result"]["c1"] == {"value": 1}
+            status = client.status(sub["job_id"])
+            assert status["cells_total"] == 3
+        finally:
+            daemon.stop()
+
+    def test_unknown_routes_and_jobs_404(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            with pytest.raises(ServiceError) as exc:
+                client.status("j999999")
+            assert exc.value.status == 404
+            with pytest.raises(ServiceError) as exc:
+                client._request("GET", "/nope")
+            assert exc.value.status == 404
+        finally:
+            daemon.stop()
+
+    def test_malformed_submissions_400(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            with pytest.raises(ServiceError) as exc:
+                client.submit("frobnicate")
+            assert exc.value.status == 400
+            with pytest.raises(ServiceError) as exc:
+                client.submit("point", {"corse": 4})
+            assert exc.value.status == 400
+        finally:
+            daemon.stop()
+
+    def test_unfinished_result_is_202_with_hint(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 501})  # parks the worker
+            body = client.result(sub["job_id"])
+            assert body["status"] in ("queued", "running")
+            assert body["retry_after_s"] > 0
+            _GATE.set()
+            assert client.wait(sub["job_id"])["status"] == "done"
+        finally:
+            daemon.stop()
+
+    def test_overview_lists_jobs(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 2})
+            client.wait(sub["job_id"])
+            view = client.overview()
+            assert [j["job_id"] for j in view["jobs"]] == [sub["job_id"]]
+        finally:
+            daemon.stop()
+
+
+class TestShedding:
+    def test_saturation_returns_503_with_retry_after(self, tmp_path):
+        # depth counts queued + running: the parked job is 1, one more
+        # queues to 2, the third submission must shed
+        daemon, client = _daemon(
+            tmp_path, breaker_config=BreakerConfig(max_queue_depth=2)
+        )
+        try:
+            client.submit("point", {"seed": 501})  # parks the worker
+            client.submit("point", {"seed": 1})  # fills the queue
+            with pytest.raises(ServiceUnavailable) as exc:
+                client.submit("point", {"seed": 2})
+            assert exc.value.retry_after_s > 0
+        finally:
+            _GATE.set()
+            daemon.stop()
+
+
+class TestRestartRecovery:
+    def test_clean_restart_serves_cached_results(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        sub = client.submit("point", {"seed": 2})
+        first = client.wait(sub["job_id"])
+        daemon.stop()
+
+        daemon2, client2 = _daemon(tmp_path)
+        try:
+            again = client2.submit("point", {"seed": 2})
+            assert again["cached"] and again["status"] == "done"
+            assert client2.result(again["job_id"])["result"] == first["result"]
+        finally:
+            daemon2.stop()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_crash_loses_no_jobs_and_duplicates_no_results(self, tmp_path):
+        # daemon 1: one job parked mid-run, one queued behind it — then
+        # the process "dies" (no graceful stop, no daemon_stopped line)
+        daemon, client = _daemon(tmp_path)
+        running = client.submit("point", {"seed": 501})
+        queued = client.submit("point", {"seed": 3})
+        time.sleep(0.05)  # the first job reaches job_started
+        daemon._server.shutdown()
+        daemon._server.server_close()
+        daemon.journal.close()  # a killed process writes nothing more:
+        # if the abandoned worker thread ever wakes, its append raises
+        # instead of racing the new daemon's journal
+
+        events = read_events(tmp_path / "journal.jsonl")
+        assert "daemon_stopped" not in [e["event"] for e in events]
+
+        # daemon 2 over the same journal: both jobs recover and finish
+        daemon2, client2 = _daemon(tmp_path)
+        try:
+            assert len(daemon2.recovered.pending) == 2
+            _GATE.set()  # recovered cells run the same (now open) gate
+            for job_id in (running["job_id"], queued["job_id"]):
+                body = client2.wait(job_id, timeout_s=10.0)
+                assert body["status"] == "done", job_id
+            finished = [
+                e for e in read_events(tmp_path / "journal.jsonl")
+                if e["event"] == "job_finished"
+            ]
+            # exactly one finish per job: recovered, not duplicated
+            assert sorted(e["job_id"] for e in finished) == sorted(
+                [running["job_id"], queued["job_id"]]
+            )
+        finally:
+            daemon2.stop()
+
+    def test_restarted_daemon_keeps_job_ids_unique(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        first = client.submit("point", {"seed": 1})
+        client.wait(first["job_id"])
+        daemon.stop()
+
+        daemon2, client2 = _daemon(tmp_path)
+        try:
+            second = client2.submit("point", {"seed": 2})
+            assert second["job_id"] != first["job_id"]
+        finally:
+            daemon2.stop()

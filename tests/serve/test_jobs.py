@@ -1,0 +1,142 @@
+"""Job specs, normalization, digests, and the result cache."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (
+    JOB_KINDS,
+    JobSpec,
+    build_cells,
+    job_digest,
+    serialize_results,
+)
+from repro.experiments.sweep import CellError
+from repro.util.errors import ConfigurationError
+
+
+class TestNormalize:
+    def test_defaults_fill_missing_params(self):
+        spec = JobSpec.normalize("point")
+        assert spec.params["code"] == "v5"
+        assert spec.params["scale"] == "tiny"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown job kind"):
+            JobSpec.normalize("frobnicate")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            JobSpec.normalize("point", {"corse": 4})
+
+    def test_bad_scale_and_code_rejected(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            JobSpec.normalize("point", {"scale": "huge"})
+        with pytest.raises(ConfigurationError, match="code"):
+            JobSpec.normalize("point", {"code": "v9"})
+        with pytest.raises(ConfigurationError, match="at least one code"):
+            JobSpec.normalize("fig9", {"codes": []})
+
+    def test_collections_canonicalized(self):
+        a = JobSpec.normalize("fig9", {"core_counts": (1, 2)})
+        b = JobSpec.normalize("fig9", {"core_counts": [1, 2]})
+        assert a == b
+
+    def test_roundtrips_through_dict(self):
+        spec = JobSpec.normalize("chaos", {"codes": ["v5"], "stealing": True})
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestDigest:
+    def test_equal_specs_equal_digests(self):
+        a = JobSpec.normalize("point", {"cores": 2})
+        b = JobSpec.normalize("point", {"cores": 2, "seed": 7})  # 7 is default
+        assert job_digest(a) == job_digest(b)
+
+    def test_any_param_changes_the_digest(self):
+        base = job_digest(JobSpec.normalize("point"))
+        assert job_digest(JobSpec.normalize("point", {"seed": 8})) != base
+        assert job_digest(JobSpec.normalize("point", {"stealing": True})) != base
+        assert job_digest(JobSpec.normalize("fig9")) != base
+
+    def test_digest_is_stable_hex(self):
+        digest = job_digest(JobSpec.normalize("point"))
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+
+class TestBuildCells:
+    def test_fig9_grid_expands_code_x_cores(self):
+        spec = JobSpec.normalize(
+            "fig9", {"codes": ["v4", "v5"], "core_counts": [1, 2]}
+        )
+        cells = build_cells(spec)
+        assert [c.key for c in cells] == [
+            ("v4", 1), ("v4", 2), ("v5", 1), ("v5", 2)
+        ]
+
+    def test_point_is_one_cell(self):
+        cells = build_cells(JobSpec.normalize("point"))
+        assert len(cells) == 1 and cells[0].key == ("v5", 2)
+
+    def test_chaos_one_cell_per_runner(self):
+        spec = JobSpec.normalize("chaos", {"codes": ["original", "v5"]})
+        cells = build_cells(spec)
+        assert [c.key for c in cells] == [("original",), ("v5",)]
+        assert all("stealing" in c.kwargs for c in cells)
+
+    def test_all_kinds_build(self):
+        for kind in JOB_KINDS:
+            assert build_cells(JobSpec.normalize(kind))
+
+
+class TestSerializeResults:
+    def test_splits_values_and_errors(self):
+        cells = build_cells(
+            JobSpec.normalize("fig9", {"codes": ["v4", "v5"],
+                                       "core_counts": [1]})
+        )
+        error = CellError(
+            key=("v5", 1), label="v5/1", kind="poisoned",
+            message="boom", attempts=2,
+        )
+        values, errors = serialize_results(
+            cells, {("v4", 1): {"time": 1.25}, ("v5", 1): error}
+        )
+        assert values == {"v4/1": {"time": 1.25}}
+        assert errors["v5/1"]["kind"] == "poisoned"
+        assert errors["v5/1"]["attempts"] == 2
+
+    def test_jsonable_coercion(self):
+        import numpy as np
+
+        cells = build_cells(JobSpec.normalize("point"))
+        values, errors = serialize_results(
+            cells, {("v5", 2): {"t": np.float64(1.5), "n": np.int64(3),
+                                "seq": (1, 2)}}
+        )
+        assert values == {"v5/2": {"t": 1.5, "n": 3, "seq": [1, 2]}}
+        assert errors == {}
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("d1") is None
+        cache.put("d1", {"result": {"x": 1}})
+        assert cache.get("d1") == {"result": {"x": 1}}
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_metrics_wiring(self):
+        metrics = MetricsRegistry(enabled=True)
+        cache = ResultCache(metrics)
+        cache.get("d1")
+        cache.put("d1", {})
+        cache.get("d1")
+        assert metrics.counter_value("serve.cache.misses") == 1.0
+        assert metrics.counter_value("serve.cache.hits") == 1.0
+        assert metrics.gauge_value("serve.cache.entries") == 1.0
+
+    def test_contains_and_len(self):
+        cache = ResultCache()
+        cache.put("d1", {})
+        assert "d1" in cache and len(cache) == 1

@@ -1,0 +1,156 @@
+"""The journal: append durability, replay semantics, crash tolerance."""
+
+import json
+
+import pytest
+
+from repro.serve.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    read_events,
+    rebuild,
+)
+
+
+def _submit(journal, job_id, digest="d1"):
+    journal.append(
+        "job_submitted", job_id=job_id, digest=digest,
+        spec={"kind": "point", "params": {}},
+    )
+
+
+class TestJournal:
+    def test_append_assigns_monotonic_seq(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            a = journal.append("daemon_started")
+            b = journal.append("daemon_stopped", clean=True)
+        assert (a["seq"], b["seq"]) == (1, 2)
+        assert [e["seq"] for e in read_events(path)] == [1, 2]
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("daemon_started")
+        with Journal(path) as journal:
+            assert journal.next_seq() == 2
+            assert journal.append("daemon_started")["seq"] == 2
+        assert len(read_events(path)) == 2
+
+    def test_append_after_close_rejected(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.append("daemon_started")
+
+    def test_records_carry_schema_version(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("daemon_started")
+        (event,) = read_events(path)
+        assert event["schema"] == JOURNAL_SCHEMA_VERSION
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("daemon_started")
+            journal.append("daemon_stopped", clean=True)
+        # simulate a crash mid-append: a truncated JSON line at the end
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "seq": 3, "eve')
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["daemon_started", "daemon_stopped"]
+        # and a journal reopened over the torn file keeps appending
+        with Journal(path) as journal:
+            assert journal.append("daemon_started")["seq"] == 3
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"schema": 1, "seq": 1, "event": "daemon_started"}\n'
+            "not json at all\n"
+            '{"schema": 1, "seq": 2, "event": "daemon_stopped", "clean": true}\n'
+        )
+        assert [e["seq"] for e in read_events(path)] == [1, 2]
+
+    def test_future_schema_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps(
+                {"schema": JOURNAL_SCHEMA_VERSION + 1, "seq": 1,
+                 "event": "daemon_started"}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="schema"):
+            read_events(path)
+
+
+class TestRebuild:
+    def test_unfinished_jobs_replay_as_pending(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            _submit(journal, "j1", "d1")
+            journal.append("job_started", job_id="j1")
+            _submit(journal, "j2", "d2")
+            # crash: neither finishes
+        state = rebuild(read_events(path))
+        assert state.pending == ["j1", "j2"]
+        # last-known status is preserved; the scheduler's recover()
+        # turns pending "running" back into "queued"
+        assert state.jobs["j1"]["status"] == "running"
+        assert state.jobs["j2"]["status"] == "queued"
+        assert state.results == {}
+
+    def test_finished_job_is_final_and_feeds_the_cache(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            _submit(journal, "j1", "d1")
+            journal.append("job_started", job_id="j1")
+            journal.append(
+                "job_finished", job_id="j1", status="done",
+                result={"cell": 1}, errors={}, cached=False,
+            )
+        state = rebuild(read_events(path))
+        assert state.pending == []
+        assert state.jobs["j1"]["status"] == "done"
+        assert state.results == {"d1": {"result": {"cell": 1}, "errors": {}}}
+
+    def test_partial_results_are_not_cached(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            _submit(journal, "j1", "d1")
+            journal.append(
+                "job_finished", job_id="j1", status="partial",
+                result={"ok_cell": 1},
+                errors={"bad_cell": {"kind": "poisoned"}}, cached=False,
+            )
+        state = rebuild(read_events(path))
+        assert state.pending == []
+        assert state.results == {}  # partial must not satisfy future digests
+        assert state.jobs["j1"]["errors"]["bad_cell"]["kind"] == "poisoned"
+
+    def test_requeued_job_is_pending_again(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            _submit(journal, "j1", "d1")
+            journal.append("job_started", job_id="j1")
+            journal.append("job_requeued", job_id="j1")  # graceful stop
+            journal.append("daemon_stopped", clean=True)
+        state = rebuild(read_events(path))
+        assert state.pending == ["j1"]
+
+    def test_replay_is_idempotent(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            _submit(journal, "j1", "d1")
+            journal.append(
+                "job_finished", job_id="j1", status="done",
+                result={}, errors={}, cached=False,
+            )
+            _submit(journal, "j2", "d2")
+        events = read_events(path)
+        assert rebuild(events).pending == rebuild(events).pending == ["j2"]

@@ -1,0 +1,225 @@
+"""The scheduler: admission, coalescing, execution, degradation.
+
+Cells are stubbed (``build_cells`` is monkeypatched) so these tests
+exercise the control plane in milliseconds; the real experiment cells
+are covered by the daemon round-trip and service-restart tests.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.sweep import RetryPolicy, SweepCell
+from repro.obs.registry import MetricsRegistry
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
+from repro.serve.journal import Journal, read_events, rebuild
+from repro.serve.scheduler import JobScheduler, SubmissionRejected
+
+
+def _ok(value):
+    return {"value": value}
+
+
+def _boom(value):
+    raise ValueError(f"cell {value} exploded")
+
+
+def _fake_cells(spec):
+    """One cell per unit of ``seed % 10``; seeds ending in 666 explode."""
+    seed = spec.params["seed"]
+    fn = _boom if seed % 1000 == 666 else _ok
+    return [SweepCell(key=(f"c{i}",), fn=fn, kwargs=dict(value=i))
+            for i in range(max(seed % 10, 1))]
+
+
+@pytest.fixture
+def scheduler(tmp_path, monkeypatch):
+    monkeypatch.setattr("repro.serve.scheduler.build_cells", _fake_cells)
+    journal = Journal(tmp_path / "journal.jsonl")
+    sched = JobScheduler(
+        journal=journal,
+        metrics=MetricsRegistry(enabled=True),
+        pool_jobs=1,  # serial: stub cells run in the worker thread
+        retry=RetryPolicy(retries=0, base_delay_s=0.0, max_delay_s=0.0),
+    )
+    yield sched
+    sched.stop()
+    journal.close()
+
+
+def _wait_done(scheduler, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = scheduler.get(job_id)
+        if record.status not in ("queued", "running"):
+            return record
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestSubmitAndExecute:
+    def test_job_runs_to_done(self, scheduler):
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 3})
+        assert record.status in ("queued", "running", "done")
+        done = _wait_done(scheduler, record.job_id)
+        assert done.status == "done"
+        assert done.result == {
+            "c0": {"value": 0}, "c1": {"value": 1}, "c2": {"value": 2}
+        }
+        assert done.cells_total == 3
+
+    def test_transitions_are_journaled(self, scheduler):
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 1})
+        _wait_done(scheduler, record.job_id)
+        events = [e["event"] for e in read_events(scheduler.journal.path)]
+        assert events == ["job_submitted", "job_started", "job_finished"]
+
+    def test_failing_job_degrades_not_crashes(self, scheduler):
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 666})
+        done = _wait_done(scheduler, record.job_id)
+        assert done.status == "failed"
+        assert done.errors["c0"]["kind"] == "exception"
+        assert "exploded" in done.errors["c0"]["message"]
+        # and the worker loop survives to run the next job
+        after = scheduler.submit("point", {"seed": 1})
+        assert _wait_done(scheduler, after.job_id).status == "done"
+
+
+class TestCacheAndCoalescing:
+    def test_second_identical_submission_is_a_cache_hit(self, scheduler):
+        scheduler.start()
+        first = scheduler.submit("point", {"seed": 2})
+        _wait_done(scheduler, first.job_id)
+        second = scheduler.submit("point", {"seed": 2})
+        assert second.cached and second.status == "done"
+        assert second.job_id != first.job_id
+        assert second.result == scheduler.get(first.job_id).result
+
+    def test_cache_hits_are_journaled_as_finished(self, scheduler):
+        scheduler.start()
+        first = scheduler.submit("point", {"seed": 2})
+        _wait_done(scheduler, first.job_id)
+        second = scheduler.submit("point", {"seed": 2})
+        finished = [
+            e for e in read_events(scheduler.journal.path)
+            if e["event"] == "job_finished"
+        ]
+        assert [e["job_id"] for e in finished] == [first.job_id, second.job_id]
+        assert finished[1]["cached"] is True
+
+    def test_pending_duplicates_coalesce(self, scheduler):
+        # worker NOT started: both submissions sit in the queue
+        first = scheduler.submit("point", {"seed": 2})
+        second = scheduler.submit("point", {"seed": 2})
+        assert second.job_id == first.job_id  # same record, no new work
+        assert len(scheduler._queue) == 1
+
+    def test_failed_jobs_are_not_cached(self, scheduler):
+        scheduler.start()
+        first = scheduler.submit("point", {"seed": 666})
+        _wait_done(scheduler, first.job_id)
+        second = scheduler.submit("point", {"seed": 666})
+        assert not second.cached  # re-admitted, will re-run
+        _wait_done(scheduler, second.job_id)
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_sheds_with_retry_hint(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.scheduler.build_cells", _fake_cells)
+        journal = Journal(tmp_path / "journal.jsonl")
+        sched = JobScheduler(
+            journal=journal,
+            breaker=CircuitBreaker(BreakerConfig(max_queue_depth=2)),
+        )
+        try:
+            sched.submit("point", {"seed": 1})  # worker not started: queued
+            sched.submit("point", {"seed": 2})
+            with pytest.raises(SubmissionRejected) as exc:
+                sched.submit("point", {"seed": 3})
+            assert exc.value.reason == "saturated"
+            assert exc.value.retry_after_s > 0
+        finally:
+            journal.close()
+
+    def test_repeated_failures_trip_the_breaker(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.scheduler.build_cells", _fake_cells)
+        journal = Journal(tmp_path / "journal.jsonl")
+        sched = JobScheduler(
+            journal=journal,
+            breaker=CircuitBreaker(BreakerConfig(failure_threshold=2)),
+            retry=RetryPolicy(retries=0, base_delay_s=0.0, max_delay_s=0.0),
+        )
+        sched.start()
+        try:
+            for seed in (666, 1666):  # distinct digests, both explode
+                record = sched.submit("point", {"seed": seed})
+                _wait_done(sched, record.job_id)
+            with pytest.raises(SubmissionRejected) as exc:
+                sched.submit("point", {"seed": 5})
+            assert exc.value.reason == "open"
+        finally:
+            sched.stop()
+            journal.close()
+
+
+class TestRecovery:
+    def test_recover_adopts_pending_jobs_and_results(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.scheduler.build_cells", _fake_cells)
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        sched = JobScheduler(journal=journal, pool_jobs=1,
+                             retry=RetryPolicy(retries=0, base_delay_s=0.0,
+                                               max_delay_s=0.0))
+        sched.start()
+        done = sched.submit("point", {"seed": 2})
+        _wait_done(sched, done.job_id)
+        pending = sched.submit("point", {"seed": 3})
+        sched.stop()  # journals job_requeued if it was mid-run
+        journal.close()
+
+        journal2 = Journal(path)
+        sched2 = JobScheduler(journal=journal2, pool_jobs=1,
+                              retry=RetryPolicy(retries=0, base_delay_s=0.0,
+                                                max_delay_s=0.0))
+        sched2.recover(rebuild(read_events(path)))
+        # the finished job came back final, the pending one queued
+        assert sched2.get(done.job_id).status == "done"
+        assert sched2.get(done.job_id).result == done.result
+        record = sched2.get(pending.job_id)
+        assert record.status in ("queued", "done")
+        sched2.start()
+        recovered = _wait_done(sched2, pending.job_id)
+        assert recovered.status == "done"
+        # and the recovered cache serves the first digest without rerun
+        hit = sched2.submit("point", {"seed": 2})
+        assert hit.cached
+        sched2.stop()
+        journal2.close()
+
+    def test_stop_requeues_the_inflight_job(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.scheduler.build_cells", _fake_cells)
+        journal = Journal(tmp_path / "journal.jsonl")
+        sched = JobScheduler(journal=journal)
+        record = sched.submit("point", {"seed": 1})
+        sched._running_id = record.job_id  # as if caught mid-run
+        sched.stop()
+        events = read_events(journal.path)
+        assert events[-1]["event"] == "job_requeued"
+        assert events[-1]["job_id"] == record.job_id
+        journal.close()
+        assert rebuild(events).pending == [record.job_id]
+
+
+class TestOverview:
+    def test_overview_shape(self, scheduler):
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 1})
+        _wait_done(scheduler, record.job_id)
+        view = scheduler.overview()
+        assert view["queue_depth"] == 0
+        assert view["breaker"]["state"] == "closed"
+        assert view["cache"]["entries"] == 1
+        assert [j["job_id"] for j in view["jobs"]] == [record.job_id]

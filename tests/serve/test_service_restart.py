@@ -1,0 +1,109 @@
+"""The acceptance scenario: SIGKILL the real daemon, restart, recover.
+
+Runs ``python -m repro serve`` as a subprocess against a real (tiny)
+workload: a completed job must survive the kill as a cached result, a
+job caught in flight must be re-executed — no job lost, no result
+duplicated.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServiceClient
+from repro.serve.journal import read_events
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spawn(journal: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--journal", str(journal), "--jobs", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    # the daemon announces readiness with one line: "serving on HOST:PORT"
+    deadline = time.monotonic() + 30.0
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("serving on "):
+            return proc, int(line.rsplit(":", 1)[1])
+        if proc.poll() is not None:
+            break
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError(f"daemon never became ready (last line: {line!r})")
+
+
+_POINT = {"code": "v5", "cores": 1, "scale": "tiny", "n_nodes": 2}
+
+
+@pytest.mark.slow
+class TestKillAndRestart:
+    def test_sigkill_then_restart_recovers_everything(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        proc, port = _spawn(journal)
+        killed = False
+        try:
+            client = ServiceClient(port=port, timeout_s=10.0)
+            # job A runs to completion before the kill
+            a = client.submit("point", _POINT)
+            done = client.wait(a["job_id"], timeout_s=120.0)
+            assert done["status"] == "done" and done["result"]
+            # job B is submitted and immediately orphaned by SIGKILL
+            b = client.submit("point", {**_POINT, "seed": 8})
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10.0)
+            killed = True
+
+            events = [e["event"] for e in read_events(journal)]
+            assert "daemon_stopped" not in events  # it really crashed
+            finished_before = [
+                e["job_id"] for e in read_events(journal)
+                if e["event"] == "job_finished"
+            ]
+            assert finished_before == [a["job_id"]]
+
+            # restart over the same journal
+            proc2, port2 = _spawn(journal)
+            try:
+                client2 = ServiceClient(port=port2, timeout_s=10.0)
+                # job A's digest is served from the replayed cache —
+                # instantly done, no recomputation
+                again = client2.submit("point", _POINT)
+                assert again["cached"] and again["status"] == "done"
+                assert (
+                    client2.result(again["job_id"])["result"]
+                    == done["result"]
+                )
+                # job B was recovered and re-executed under its own id
+                recovered = client2.wait(b["job_id"], timeout_s=120.0)
+                assert recovered["status"] == "done"
+                assert recovered["result"]
+
+                # no result duplicated: one job_finished per job id
+                finished = [
+                    e["job_id"] for e in read_events(journal)
+                    if e["event"] == "job_finished" and not e.get("cached")
+                ]
+                assert sorted(finished) == sorted([a["job_id"], b["job_id"]])
+            finally:
+                proc2.send_signal(signal.SIGTERM)
+                proc2.wait(timeout=15.0)
+            # the second daemon stopped cleanly and said so
+            assert read_events(journal)[-1]["event"] == "daemon_stopped"
+        finally:
+            if not killed and proc.poll() is None:
+                proc.kill()

@@ -157,3 +157,61 @@ class TestPerfCommand:
         old = PerfBaseline.read(committed)
         new = run_perf(scale="tiny")
         assert new.times == old.times
+
+
+class TestInterrupts:
+    def test_ctrl_c_exits_130(self, monkeypatch, capsys):
+        """KeyboardInterrupt anywhere in a subcommand maps to the shell
+        convention 128 + SIGINT instead of a traceback."""
+        import repro.__main__ as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_info", interrupted)
+        assert cli.main(["info"]) == cli.EXIT_INTERRUPTED == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct(self):
+        from repro.__main__ import (
+            EXIT_CHECK_FAILED,
+            EXIT_INTERRUPTED,
+            EXIT_OK,
+            EXIT_USAGE,
+        )
+
+        codes = {EXIT_OK, EXIT_CHECK_FAILED, EXIT_USAGE, EXIT_INTERRUPTED}
+        assert codes == {0, 1, 2, 130}
+
+
+class TestServiceCli:
+    def test_parse_params_json_and_strings(self):
+        from repro.__main__ import _parse_params
+
+        params = _parse_params(
+            ["cores=4", "stealing=true", 'codes=["v5","v4"]', "scale=tiny"]
+        )
+        assert params == {
+            "cores": 4,
+            "stealing": True,
+            "codes": ["v5", "v4"],
+            "scale": "tiny",
+        }
+
+    def test_parse_params_rejects_bare_words(self):
+        from repro.__main__ import _parse_params
+
+        with pytest.raises(SystemExit):
+            _parse_params(["cores"])
+
+    def test_submit_against_dead_daemon_fails_cleanly(self, capsys):
+        # nothing listens on this port: a clean error, not a traceback
+        assert (
+            main(["submit", "point", "--port", "1", "--param", "cores=1"])
+            == EXIT_CHECK_FAILED
+        )
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_status_against_dead_daemon_fails_cleanly(self, capsys):
+        assert main(["status", "--port", "1"]) == EXIT_CHECK_FAILED
+        assert "error" in capsys.readouterr().err

@@ -59,6 +59,35 @@ class TestFaultPlan:
         assert plan.backoff(0) == 1e-5
         assert plan.backoff(3) == 8e-5
 
+    def test_backoff_is_capped(self):
+        plan = FaultPlan(retransmit_timeout_s=1e-5, max_backoff_s=5e-5)
+        assert plan.backoff(0) == 1e-5
+        assert plan.backoff(2) == 4e-5
+        assert plan.backoff(3) == 5e-5  # 8e-5 clipped to the ceiling
+        assert plan.backoff(50) == 5e-5
+
+    def test_backoff_survives_absurd_attempt_counts(self):
+        # 2.0**attempt overflows a float past ~1024 attempts; the cap
+        # must hold long before and long after that point
+        plan = FaultPlan()
+        assert plan.backoff(10_000) == plan.max_backoff_s
+        assert plan.backoff(1023) == plan.max_backoff_s
+
+    def test_default_cap_does_not_change_default_schedule(self):
+        # retransmit attempts are bounded by max_retransmits (6), and
+        # base * 2**6 stays under the default ceiling — the cap only
+        # exists for pathological attempt counts
+        plan = FaultPlan()
+        for attempt in range(plan.max_retransmits + 1):
+            assert (
+                plan.backoff(attempt)
+                == plan.retransmit_timeout_s * 2.0**attempt
+            )
+
+    def test_backoff_cap_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(retransmit_timeout_s=1e-3, max_backoff_s=1e-4)
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             FaultPlan(task_fail_prob=1.5)
@@ -423,6 +452,30 @@ class TestChaosSweep:
         assert totals["tasks_reassigned"] + totals["tasks_recomputed"] > 0
         assert totals["tickets_reissued"] > 0
         assert totals["chains_recovered"] > 0
+
+    def test_stealing_under_faults_stays_bitwise_and_deterministic(self):
+        """The chaos x stealing interaction: a fault sweep against the
+        PTG runtime with work stealing enabled must still recover to
+        the bitwise fault-free reference, deterministically."""
+        from repro.experiments.chaos import run_chaos
+
+        result = run_chaos(
+            scale="tiny", n_nodes=4, cores_per_node=2,
+            codes=["v5"], stealing=True,
+        )
+        (outcome,) = result.outcomes
+        assert outcome.bitwise_match
+        assert outcome.deterministic
+        assert outcome.faults_recovered
+
+    def test_codes_subset_restricts_the_sweep(self):
+        from repro.experiments.chaos import run_chaos
+
+        result = run_chaos(
+            scale="tiny", n_nodes=2, cores_per_node=1, codes=["original"]
+        )
+        assert [o.name for o in result.outcomes] == ["original"]
+        assert result.outcomes[0].ok
 
 
 # ----------------------------------------------------------------------
