@@ -28,7 +28,7 @@ The one-call entry point is :func:`repro.run`::
 """
 
 from repro.core.api import RunConfig, StealPolicy, run
-from repro.core.executor import run_over_parsec
+from repro.core.executor import run_ptg
 from repro.core.variants import PAPER_VARIANTS, V1, V2, V3, V4, V5, variant_by_name
 from repro.ga.runtime import GlobalArrays
 from repro.legacy.runtime import LegacyRuntime
@@ -44,7 +44,7 @@ __all__ = [
     "run",
     "RunConfig",
     "StealPolicy",
-    "run_over_parsec",
+    "run_ptg",
     "MetricsRegistry",
     "RunReport",
     "RunResult",

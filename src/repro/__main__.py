@@ -62,6 +62,24 @@ def _add_scale(parser: argparse.ArgumentParser, default: str = "paper") -> None:
     )
 
 
+def _add_workload(parser: argparse.ArgumentParser, default: str = "t2_7") -> None:
+    parser.add_argument(
+        "--workload",
+        default=default,
+        metavar="NAME[:PARAMS]",
+        help=(
+            "registered workload name or full 'name:params' token "
+            f"(default: {default}; an explicit token overrides --scale; "
+            "see `python -m repro info` for the registry)"
+        ),
+    )
+
+
+def _workload_name(token: str) -> str:
+    """The registry name part of a workload token."""
+    return token.split(":", 1)[0].strip()
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -91,6 +109,7 @@ def cmd_fig9(args: argparse.Namespace) -> int:
         stealing=args.stealing,
         skew_factor=args.skew_factor,
         skew_period=args.skew_period,
+        workload=args.workload,
     )
     print(result.table())
     print()
@@ -110,6 +129,13 @@ def cmd_fig9(args: argparse.Namespace) -> int:
             "\nnote: the shape checks describe the paper's static, "
             "unskewed configuration; with --stealing/--skew-factor they "
             "are informational only."
+        )
+        return EXIT_OK
+    if _workload_name(args.workload) != "t2_7":
+        print(
+            "\nnote: the shape checks are paper claims about the t2_7 "
+            f"sub-kernel; for --workload {args.workload} they are "
+            "informational only."
         )
         return EXIT_OK
     if args.scale not in ("paper", "full"):
@@ -148,7 +174,7 @@ def cmd_traces(args: argparse.Namespace) -> int:
 def cmd_equivalence(args: argparse.Namespace) -> int:
     from repro.experiments.equivalence import run_equivalence
 
-    result = run_equivalence(scale=args.scale, n_nodes=8)
+    result = run_equivalence(scale=args.scale, n_nodes=8, workload=args.workload)
     for name, energy in sorted(result.energies.items()):
         print(f"{name:10s} {energy:+.15e}")
     digits = result.agrees_to_digits()
@@ -248,6 +274,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         progress=_progress(),
         stealing=args.stealing,
         codes=args.codes,
+        workload=args.workload,
     )
     print(f"fault plan: {result.plan_description}\n")
     rows = []
@@ -297,9 +324,14 @@ def cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     runtimes = ["legacy", "v5"] if args.runtime == "both" else [args.runtime]
+    token = (
+        args.workload
+        if ":" in args.workload
+        else f"{args.workload}:{args.scale}"
+    )
     reports = []
     for runtime in runtimes:
-        result = run(args.scale, runtime=runtime, config=config)
+        result = run(token, runtime=runtime, config=config)
         if result.report is None:
             print(f"error: {runtime} run produced no report", file=sys.stderr)
             return EXIT_CHECK_FAILED
@@ -332,12 +364,18 @@ def cmd_perf(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             progress=_progress(),
             stealing=args.stealing,
+            workload=args.workload,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     suffix = "_stealing" if args.stealing else ""
-    out = args.out or f"BENCH_fig9_{args.scale}{suffix}.json"
+    tag = (
+        ""
+        if args.workload == "t2_7"
+        else args.workload.replace(":", "_").replace("/", "_") + "_"
+    )
+    out = args.out or f"BENCH_fig9_{tag}{args.scale}{suffix}.json"
     written = new.write(out)
     print(f"wrote {written}")
     print(
@@ -364,9 +402,11 @@ def cmd_perf(args: argparse.Namespace) -> int:
             "skipping the regression gate"
         )
         return EXIT_OK
-    baseline_file = args.baseline or baseline_path(args.scale)
+    baseline_file = args.baseline or baseline_path(
+        args.scale, workload=args.workload
+    )
     if args.update_baseline:
-        committed = new.write(baseline_path(args.scale))
+        committed = new.write(baseline_path(args.scale, workload=args.workload))
         print(f"updated committed baseline {committed}")
         return EXIT_OK
     import os
@@ -536,6 +576,7 @@ def cmd_result(args: argparse.Namespace) -> int:
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.experiments.calibration import PAPER_MACHINE, make_cluster, make_workload
     from repro.tce.molecules import SCALE_PRESETS
+    from repro.workloads import canonical_token, workload_names, workload_spec
 
     print("scale presets:")
     for name, system in SCALE_PRESETS.items():
@@ -543,9 +584,13 @@ def cmd_info(args: argparse.Namespace) -> int:
             f"  {name:6s} {system.name}: nocc={system.nocc} nvirt={system.nvirt} "
             f"tile={system.tile_size} ({system.n_basis} basis functions)"
         )
+    print("\nregistered workloads (use --workload name[:params]):")
+    for name in workload_names():
+        print(f"  {name:6s} {workload_spec(name).summary}")
     cluster = make_cluster(1, n_nodes=4)
-    workload = make_workload(cluster, scale=args.scale)
-    print(f"\nworkload at --scale {args.scale}: {workload.subroutine.describe()}")
+    workload = make_workload(cluster, scale=args.scale, workload=args.workload)
+    token = canonical_token(args.workload, scale=args.scale)
+    print(f"\nworkload {token}: {workload.describe()}")
     print(f"\ncalibrated machine: {PAPER_MACHINE}")
     return EXIT_OK
 
@@ -564,6 +609,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = subparsers.add_parser("fig9", help="Figure 9 sweep + shape checks")
     _add_scale(p)
+    _add_workload(p)
     _add_jobs(p)
     p.add_argument(
         "--stealing",
@@ -592,6 +638,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = subparsers.add_parser("equivalence", help="14-digit agreement check")
     _add_scale(p, default="small")
+    _add_workload(p)
     p.set_defaults(func=cmd_equivalence)
 
     p = subparsers.add_parser("ablations", help="design-decision sweeps")
@@ -600,6 +647,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = subparsers.add_parser("chaos", help="fault-injection recovery sweep")
     _add_scale(p, default="tiny")
+    _add_workload(p)
     p.add_argument("--nodes", type=int, default=4, help="nodes in the allocation")
     p.add_argument("--cores", type=int, default=2, help="compute cores per node")
     p.add_argument(
@@ -627,6 +675,7 @@ def main(argv: list[str] | None = None) -> int:
         "report", help="run a runtime/variant, emit a structured RunReport"
     )
     _add_scale(p, default="tiny")
+    _add_workload(p)
     p.add_argument(
         "--runtime",
         default="both",
@@ -646,6 +695,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf", help="fig9-style perf sweep vs committed BENCH baseline"
     )
     _add_scale(p, default="tiny")
+    _add_workload(p)
     p.add_argument(
         "--threshold",
         type=float,
@@ -676,6 +726,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = subparsers.add_parser("info", help="workload and machine summary")
     _add_scale(p, default="paper")
+    _add_workload(p)
     p.set_defaults(func=cmd_info)
 
     def _add_endpoint(sub: argparse.ArgumentParser) -> None:
@@ -756,8 +807,15 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=cmd_result)
 
     args = parser.parse_args(argv)
+    from repro.util.errors import ConfigurationError
+
     try:
         return args.func(args)
+    except ConfigurationError as exc:
+        # unknown workload/runtime/scale names are usage errors, the
+        # same class argparse reports — map them to the same exit code
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except KeyboardInterrupt:
         # conventional 128 + SIGINT; partial output may already be on
         # stdout, the marker goes to stderr

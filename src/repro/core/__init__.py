@@ -18,9 +18,9 @@ Layers, matching Section III-B and IV of the paper:
 - :mod:`repro.core.api` — the unified :func:`repro.run` facade over
   every runtime (legacy, PaRSEC v1..v5, DTD) with phase timers and
   structured run reports.
-- :mod:`repro.core.executor` — run one subroutine over PaRSEC inside
-  the simulated cluster and collect results (deprecated entry point;
-  superseded by the facade).
+- :mod:`repro.core.executor` — :func:`run_ptg`, one Section III-B
+  pipeline pass for a single subroutine on an existing cluster (the
+  building block the facade sequences per level).
 - :mod:`repro.core.integration` — the NWChem-level driver that swaps
   the legacy implementation for the PaRSEC one per subroutine, with
   the rest of the program oblivious (Figure 3).
@@ -39,7 +39,7 @@ from repro.core.variants import (
 from repro.core.metadata import Metadata, ChainMeta, GemmMeta
 from repro.core.inspector import InspectionCache, inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
-from repro.core.executor import CcsdRun, run_over_parsec
+from repro.core.executor import CcsdRun, run_ptg
 from repro.core.api import RunConfig, precompute_inspection, run
 from repro.core.integration import NwchemDriver
 
@@ -62,6 +62,6 @@ __all__ = [
     "precompute_inspection",
     "build_ccsd_ptg",
     "CcsdRun",
-    "run_over_parsec",
+    "run_ptg",
     "NwchemDriver",
 ]

@@ -1,12 +1,20 @@
 """The unified run facade: one entry point for every runtime.
 
 ``repro.run(workload, runtime=..., variant=..., config=RunConfig(...))``
-executes the same workload over the legacy coarse-grain runtime, any of
-the five PaRSEC PTG variants, or the contrasted DTD model, and returns
-a :class:`~repro.obs.result.RunResult` with a uniform shape: virtual
-``execution_time``, ``n_tasks``, ``recovery_counters()``, plus — when
-the cluster's metrics registry is enabled — a ``metrics`` snapshot and
-a structured ``report`` (:class:`~repro.obs.report.RunReport`).
+executes any registered workload over the legacy coarse-grain runtime,
+any of the five PaRSEC PTG variants, or the contrasted DTD model, and
+returns a :class:`~repro.obs.result.RunResult` with a uniform shape:
+virtual ``execution_time``, ``n_tasks``, ``recovery_counters()``, plus
+— when the cluster's metrics registry is enabled — a ``metrics``
+snapshot and a structured ``report``
+(:class:`~repro.obs.report.RunReport`).
+
+Workloads are addressed by registry token (``"t2_7:small"``,
+``"ccsd:tiny"``, ``"rbgs:128x128"`` — see :mod:`repro.workloads`); a
+bare scale name still resolves through the deprecated t2_7 shim. A
+multi-level workload runs level by level with an explicit barrier in
+between — the legacy application's own synchronization structure
+(Section III-A) — and the facade merges the per-level results into one.
 
 The phase timers instrument the Section III-B pipeline on the virtual
 clock: *inspection* (metadata collection), *ptg_build* (symbolic graph
@@ -17,27 +25,59 @@ record only *execution* (and *validation*).
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.core.inspector import InspectionCache, inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.variants import V5, VariantSpec, variant_by_name
-from repro.ga.runtime import GlobalArrays
 from repro.legacy.runtime import LegacyConfig, LegacyRuntime
 from repro.obs.result import RunResult
 from repro.parsec.runtime import ParsecRuntime
 from repro.parsec.stealing import StealPolicy
 from repro.sim.cluster import Cluster, ClusterConfig, DataMode
 from repro.sim.cost import MachineModel
-from repro.tce.molecules import system_for_scale
-from repro.tce.t2_7 import T27Workload, build_t2_7
+from repro.tce.molecules import SCALE_PRESETS
+from repro.tce.t2_7 import T27Workload
 from repro.util.errors import ConfigurationError
+from repro.workloads import build_workload as _build_registered_workload
+from repro.workloads import parse_workload_token
+from repro.workloads.base import Workload
 
 __all__ = ["RunConfig", "StealPolicy", "precompute_inspection", "run"]
 
 #: ``runtime=`` spellings accepted by :func:`run`, besides "parsec".
 _VARIANT_RUNTIMES = ("v1", "v2", "v3", "v4", "v5")
+
+#: every additive counter a multi-level PaRSEC run sums across levels
+_PARSEC_SUM_FIELDS = (
+    "n_tasks",
+    "messages_remote",
+    "bytes_remote",
+    "deliveries_local",
+    "task_retries",
+    "retransmits",
+    "tasks_recomputed",
+    "tasks_reassigned",
+    "nodes_crashed",
+    "recovery_overhead_s",
+    "steal_requests",
+    "steals_granted",
+    "steals_denied",
+    "chains_migrated",
+    "migrated_flops",
+    "steal_forwarded_bytes",
+)
+
+_DTD_SUM_FIELDS = (
+    "n_tasks",
+    "n_edges",
+    "insertion_time",
+    "messages_remote",
+    "bytes_remote",
+)
 
 
 @dataclass(frozen=True)
@@ -45,9 +85,9 @@ class RunConfig:
     """Cluster shape and execution options for :func:`run`.
 
     The cluster fields (``n_nodes`` .. ``gpus_per_node``) only apply
-    when the workload is given as a scale name and the facade builds
-    the cluster itself; a pre-built :class:`~repro.tce.t2_7.T27Workload`
-    brings its own cluster and they are ignored.
+    when the workload is given as a registry token and the facade
+    builds the cluster itself; a pre-built workload object brings its
+    own cluster and they are ignored.
     """
 
     n_nodes: int = 8
@@ -71,7 +111,7 @@ class RunConfig:
     #: Workload imbalance knob (see :class:`~repro.tce.terms.TermBuilder`):
     #: chains with ``chain_id % skew_period == 0`` repeat their GEMM list
     #: ``skew_factor`` times. Only applies when the facade builds the
-    #: workload from a scale name.
+    #: workload from a registry token.
     skew_factor: int = 1
     skew_period: int = 0
     #: PaRSEC: share inspected chain metadata across runs of the same
@@ -82,8 +122,8 @@ class RunConfig:
     )
 
 
-def _build_workload(scale: str, config: RunConfig) -> T27Workload:
-    cluster = Cluster(
+def _build_cluster(config: RunConfig) -> Cluster:
+    return Cluster(
         ClusterConfig(
             n_nodes=config.n_nodes,
             cores_per_node=config.cores_per_node,
@@ -94,15 +134,58 @@ def _build_workload(scale: str, config: RunConfig) -> T27Workload:
             gpus_per_node=config.gpus_per_node,
         )
     )
-    ga = GlobalArrays(cluster)
-    system = system_for_scale(scale)
-    return build_t2_7(
-        cluster,
-        ga,
-        system.orbital_space(),
+
+
+def _build_workload(token: str, config: RunConfig) -> Workload:
+    """Build the workload a registry token names on a fresh cluster.
+
+    Emits a :class:`DeprecationWarning` for bare legacy scale names
+    (``"small"`` instead of ``"t2_7:small"``) — the pre-SDK spelling.
+    """
+    bare = token.strip()
+    if ":" not in bare and bare in SCALE_PRESETS:
+        warnings.warn(
+            f"bare scale name {bare!r} is deprecated; spell the workload "
+            f"explicitly, e.g. 't2_7:{bare}'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return _build_registered_workload(
+        token,
+        _build_cluster(config),
         seed=config.seed,
         skew_factor=config.skew_factor,
         skew_period=config.skew_period,
+    )
+
+
+def _workload_levels(workload) -> list:
+    """The workload's barrier-separated subroutine levels."""
+    levels = getattr(workload, "levels", None)
+    if levels is not None:
+        return list(levels())
+    return [workload.subroutine]
+
+
+def _charge_barrier(cluster: Cluster) -> None:
+    """Advance the virtual clock by one explicit inter-level barrier."""
+    cluster.engine.schedule(cluster.machine.barrier_overhead_s, lambda: None)
+    cluster.run()
+
+
+def _merge_level_results(results, execution_time: float, sum_fields, **extra):
+    """Fold per-level results into one, summing the additive counters.
+
+    Per-level fault counters are deltas over that level's execution, so
+    summing them is exact; the last level's result supplies everything
+    non-additive (variant tag, result class).
+    """
+    totals = {
+        name: sum(getattr(result, name) for result in results)
+        for name in sum_fields
+    }
+    return dataclasses.replace(
+        results[-1], execution_time=execution_time, **totals, **extra
     )
 
 
@@ -114,6 +197,7 @@ def precompute_inspection(
     cache: Optional[InspectionCache] = None,
     skew_factor: int = 1,
     skew_period: int = 0,
+    workload: str = "t2_7",
 ) -> InspectionCache:
     """Fill an :class:`InspectionCache` for a sweep before it runs.
 
@@ -125,9 +209,12 @@ def precompute_inspection(
     processes (it pickles cleanly), so the memoization survives process
     isolation instead of being recomputed in every worker.
 
-    ``codes`` may mix variant names with non-PaRSEC runtimes
-    (``"original"``/``"legacy"``/``"dtd"`` are skipped — they have no
-    inspection phase). Returns ``cache`` (a fresh one when ``None``).
+    ``workload`` is a registry name or token; ``scale`` supplies its
+    params when the token carries none. Multi-level workloads are
+    inspected level by level. ``codes`` may mix variant names with
+    non-PaRSEC runtimes (``"original"``/``"legacy"``/``"dtd"`` are
+    skipped — they have no inspection phase). Returns ``cache`` (a
+    fresh one when ``None``).
     """
     cache = cache if cache is not None else InspectionCache()
     variants = []
@@ -153,14 +240,78 @@ def precompute_inspection(
         skew_factor=skew_factor,
         skew_period=skew_period,
     )
-    workload = _build_workload(scale, config)
-    for variant in variants:
-        cache.precompute(workload.subroutine, workload.cluster, variant)
+    workload_obj = _build_registered_workload(
+        workload,
+        _build_cluster(config),
+        scale=scale,
+        seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )
+    for subroutine in _workload_levels(workload_obj):
+        for variant in variants:
+            cache.precompute(subroutine, workload_obj.cluster, variant)
     return cache
 
 
+def _run_legacy(cluster, workload, levels, config: RunConfig):
+    lrt = LegacyRuntime(cluster, workload.ga, config.legacy)
+    if len(levels) == 1:
+        return lrt.execute_subroutine(levels[0])
+    return lrt.execute([list(subroutine.chains) for subroutine in levels])
+
+
+def _run_dtd(cluster, levels):
+    from repro.core.dtd_port import run_over_dtd
+
+    start = cluster.engine.now
+    results = []
+    for index, subroutine in enumerate(levels):
+        if index:
+            _charge_barrier(cluster)
+        results.append(run_over_dtd(cluster, subroutine))
+    if len(results) == 1:
+        return results[0]
+    return _merge_level_results(
+        results, cluster.engine.now - start, _DTD_SUM_FIELDS
+    )
+
+
+def _run_parsec(cluster, levels, variant: VariantSpec, config: RunConfig):
+    metrics = cluster.metrics
+    start = cluster.engine.now
+    results = []
+    for index, subroutine in enumerate(levels):
+        if index:
+            _charge_barrier(cluster)
+        with metrics.phase("inspection"):
+            metadata = inspect_subroutine(
+                subroutine, cluster, variant, cache=config.inspection_cache
+            )
+        with metrics.phase("ptg_build"):
+            ptg = build_ccsd_ptg(variant, metadata)
+        prt = ParsecRuntime(cluster, policy=config.policy, stealing=config.stealing)
+        with metrics.phase("execution"):
+            results.append(prt.execute(ptg, metadata, validate=config.validate))
+    if len(results) == 1:
+        result = results[0]
+    else:
+        per_class: dict[str, int] = {}
+        for level_result in results:
+            for cls, count in level_result.tasks_per_class.items():
+                per_class[cls] = per_class.get(cls, 0) + count
+        result = _merge_level_results(
+            results,
+            cluster.engine.now - start,
+            _PARSEC_SUM_FIELDS,
+            tasks_per_class=per_class,
+        )
+    result.variant = variant.name
+    return result
+
+
 def run(
-    workload: Union[str, T27Workload] = "small",
+    workload: Union[str, Workload, T27Workload] = "small",
     runtime: str = "parsec",
     variant: Union[str, VariantSpec] = V5,
     config: Optional[RunConfig] = None,
@@ -170,9 +321,12 @@ def run(
     Parameters
     ----------
     workload:
-        A :class:`~repro.tce.t2_7.T27Workload` (runs on its own
-        cluster), or a scale name (``"tiny"``, ``"small"``, ``"paper"``)
-        for which a fresh cluster and workload are built from ``config``.
+        A registry token (``"t2_7:small"``, ``"ccsd:tiny"``,
+        ``"rbgs:32x32"``; bare scale names still work through the
+        deprecated t2_7 shim), for which a fresh cluster and workload
+        are built from ``config`` — or a pre-built workload object
+        (e.g. :class:`~repro.tce.t2_7.T27Workload`), which runs on its
+        own cluster.
     runtime:
         ``"parsec"`` (uses ``variant``), ``"legacy"``/``"original"``,
         ``"dtd"``, or a variant name ``"v1"``..``"v5"`` as shorthand
@@ -180,6 +334,10 @@ def run(
     variant:
         The PTG variant for the PaRSEC path — a
         :class:`~repro.core.variants.VariantSpec` or its name.
+
+    Unknown runtime or workload names raise
+    :class:`~repro.util.errors.ConfigurationError` before any cluster
+    is built (the CLI maps it to exit code 2).
     """
     config = config or RunConfig()
     name = runtime.lower()
@@ -188,49 +346,41 @@ def run(
     if name in _VARIANT_RUNTIMES:
         variant = variant_by_name(name)
         name = "parsec"
+    if name not in ("legacy", "dtd", "parsec"):
+        raise ConfigurationError(
+            f"unknown runtime {runtime!r}: expected 'parsec', 'legacy', "
+            f"'dtd', or one of {_VARIANT_RUNTIMES}"
+        )
     if isinstance(variant, str):
         variant = variant_by_name(variant)
 
     if isinstance(workload, str):
-        scale: Optional[str] = workload
+        _, scale = parse_workload_token(workload)
         workload = _build_workload(workload, config)
     else:
         scale = None
     cluster = workload.cluster
     metrics = cluster.metrics
+    levels = _workload_levels(workload)
 
     if name == "legacy":
-        lrt = LegacyRuntime(cluster, workload.ga, config.legacy)
         with metrics.phase("execution"):
-            result: RunResult = lrt.execute_subroutine(workload.subroutine)
+            result: RunResult = _run_legacy(cluster, workload, levels, config)
     elif name == "dtd":
-        from repro.core.dtd_port import run_over_dtd
-
         with metrics.phase("execution"):
-            result = run_over_dtd(cluster, workload.subroutine)
-    elif name == "parsec":
-        with metrics.phase("inspection"):
-            metadata = inspect_subroutine(
-                workload.subroutine, cluster, variant, cache=config.inspection_cache
-            )
-        with metrics.phase("ptg_build"):
-            ptg = build_ccsd_ptg(variant, metadata)
-        prt = ParsecRuntime(cluster, policy=config.policy, stealing=config.stealing)
-        with metrics.phase("execution"):
-            result = prt.execute(ptg, metadata, validate=config.validate)
-        result.variant = variant.name
+            result = _run_dtd(cluster, levels)
     else:
-        raise ConfigurationError(
-            f"unknown runtime {runtime!r}: expected 'parsec', 'legacy', "
-            f"'dtd', or one of {_VARIANT_RUNTIMES}"
-        )
+        result = _run_parsec(cluster, levels, variant, config)
 
+    output = getattr(workload, "output", None)
+    if output is None:
+        output = workload.i2
     if config.validate and metrics.enabled and cluster.data_mode is DataMode.REAL:
         with metrics.phase("validation"):
-            checksum = float(workload.i2.flat_values().sum())
+            checksum = float(output.flat_values().sum())
         metrics.gauge_set("run.output_checksum", checksum)
 
-    result.output = workload.i2
+    result.output = output
     if metrics.enabled:
         from repro.analysis.run_report import build_run_report
 
@@ -238,7 +388,7 @@ def run(
         result.report = build_run_report(
             result,
             cluster,
-            workload=workload.subroutine.name,
+            workload=getattr(workload, "name", levels[0].name),
             scale=scale,
             seed=workload.seed,
         )

@@ -33,9 +33,9 @@ def _read_body(md: Metadata, L1: int, L2: int, which: str, key: str):
     def body(ctx: DtdContext):
         gemm = md.gemm(L1, L2)
         if which == "a":
-            lo, hi, array = gemm.a_lo, gemm.a_hi, md.va_array
+            lo, hi, array = gemm.a_lo, gemm.a_hi, md.a_array_of(gemm)
         else:
-            lo, hi, array = gemm.b_lo, gemm.b_hi, md.tb_array
+            lo, hi, array = gemm.b_lo, gemm.b_hi, md.b_array_of(gemm)
         nbytes = 8.0 * (hi - lo)
         cpu = nbytes / ctx.machine.ga_local_bytes_per_s
         from repro.sim.cost import OpCost
@@ -103,7 +103,9 @@ def _write_body(md: Metadata, L1: int, seg_index: int, sorted_key: str, region_k
             piece = ctx.data[sorted_key][
                 seg.lo - chain.target_lo : seg.hi - chain.target_lo
             ]
-            md.i2_array.accumulate_range_direct(seg.lo, seg.hi, piece)
+            md.target_array_of(chain).accumulate_range_direct(
+                seg.lo, seg.hi, piece, tag=(md.level, "dtd", L1, seg_index)
+            )
 
     return body
 

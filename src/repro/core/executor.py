@@ -1,13 +1,15 @@
 """Running one subroutine over PaRSEC inside the simulated cluster.
 
-Deprecated entry point: :func:`run_over_parsec` predates the unified
-facade and is kept as a thin shim; new code should call
-:func:`repro.run` (see :mod:`repro.core.api`).
+:func:`run_ptg` is the low-level building block the facade composes:
+one Section III-B pipeline pass (inspect → build PTG → execute) for a
+single subroutine on an existing cluster. Whole-workload runs should
+go through :func:`repro.run`, which adds multi-level sequencing,
+metrics phases, validation, and reporting. The long-deprecated
+``run_over_parsec`` shim has been removed.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.core.inspector import inspect_subroutine
@@ -18,7 +20,7 @@ from repro.parsec.runtime import ParsecResult, ParsecRuntime
 from repro.sim.cluster import Cluster
 from repro.tce.subroutine import Subroutine
 
-__all__ = ["CcsdRun", "run_over_parsec"]
+__all__ = ["CcsdRun", "run_ptg"]
 
 
 @dataclass
@@ -41,7 +43,7 @@ class CcsdRun:
         )
 
 
-def _run_over_parsec(
+def run_ptg(
     cluster: Cluster,
     subroutine: Subroutine,
     variant: VariantSpec,
@@ -50,37 +52,12 @@ def _run_over_parsec(
 ) -> CcsdRun:
     """The Section III-B pipeline: inspection phase → metadata arrays →
     PTG execution → control returns to the caller (with the output
-    already accumulated in the i2 Global Array). ``policy`` selects the
-    node scheduler discipline (default: the priority-aware scheduler
-    the paper's experiments use)."""
+    already accumulated in the target Global Array). ``policy`` selects
+    the node scheduler discipline (default: the priority-aware
+    scheduler the paper's experiments use)."""
     metadata = inspect_subroutine(subroutine, cluster, variant)
     ptg = build_ccsd_ptg(variant, metadata)
     runtime = ParsecRuntime(cluster, policy=policy)
     result = runtime.execute(ptg, metadata, validate=validate)
     result.variant = variant.name
     return CcsdRun(variant=variant, result=result, metadata=metadata)
-
-
-def run_over_parsec(
-    cluster: Cluster,
-    subroutine: Subroutine,
-    variant: VariantSpec,
-    validate: bool = True,
-    policy=None,
-) -> CcsdRun:
-    """Deprecated shim over the unified facade.
-
-    Use ``repro.run(workload, runtime="parsec", variant=...)`` instead;
-    it covers all runtimes and returns a uniform
-    :class:`~repro.obs.result.RunResult` with metrics and a structured
-    report attached.
-    """
-    warnings.warn(
-        "run_over_parsec() is deprecated; use repro.run(workload, "
-        "runtime='parsec', variant=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_over_parsec(
-        cluster, subroutine, variant, validate=validate, policy=policy
-    )

@@ -184,6 +184,8 @@ def _inspect_chain(
                     m=gemm.m,
                     n=gemm.n,
                     k=gemm.k,
+                    a_array=gemm.a.tensor.array.name,
+                    b_array=gemm.b.tensor.array.name,
                 )
             )
 
@@ -224,6 +226,7 @@ def _inspect_chain(
         target_lo=target_lo,
         target_hi=target_hi,
         write_segs=write_segs,
+        target_array=i2_array.name,
     )
 
 
@@ -249,6 +252,13 @@ def inspect_subroutine(
             _inspect_chain(chain, cluster, variant) for chain in subroutine.chains
         ]
     first = subroutine.chains[0]
+    # Live-handle map resolved fresh per run: the cached ChainMeta
+    # entries carry array *names*; the task bodies look the handles up
+    # here. Subroutine.inputs is the contract for which arrays chains
+    # may reference (plus the output).
+    arrays = {subroutine.output.array.name: subroutine.output.array}
+    for tensor in subroutine.inputs:
+        arrays[tensor.array.name] = tensor.array
     return Metadata(
         chains=chains,
         variant=variant,
@@ -257,4 +267,6 @@ def inspect_subroutine(
         tb_array=first.gemms[0].b.tensor.array,
         i2_array=subroutine.output.array,
         subroutine_name=subroutine.name,
+        arrays=arrays,
+        level=subroutine.level,
     )

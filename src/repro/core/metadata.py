@@ -33,7 +33,16 @@ __all__ = [
 
 @dataclass(frozen=True)
 class GemmMeta:
-    """One GEMM slot: resolved operand ranges, owners, and shape."""
+    """One GEMM slot: resolved operand ranges, owners, and shape.
+
+    ``a_array`` / ``b_array`` name the GA each operand lives in (the
+    empty string means "the subroutine's default operand array", kept
+    for metadata built before the workload SDK). They are plain
+    strings — never live array handles — so cached inspection entries
+    stay pure data and pickle cleanly into sweep workers. Workloads
+    whose chains mix operand arrays (a stencil reading both ``u`` and
+    ``u_next``) need the resolution to be per GEMM, not per chain.
+    """
 
     position: int          # L2
     seg_id: int            # which serial segment it belongs to
@@ -48,6 +57,8 @@ class GemmMeta:
     m: int
     n: int
     k: int
+    a_array: str = ""
+    b_array: str = ""
 
 
 @dataclass(frozen=True)
@@ -120,6 +131,8 @@ class ChainMeta:
     target_lo: int
     target_hi: int
     write_segs: list[WriteSegMeta]
+    #: GA name the active sorts accumulate into ("" = default output)
+    target_array: str = ""
 
     @property
     def c_size(self) -> int:
@@ -169,6 +182,13 @@ class Metadata:
     tb_array: object
     i2_array: object
     subroutine_name: str = ""
+    #: every GA the chains touch, keyed by array name; rebuilt per run
+    #: (live handles — this is why Metadata itself is never cached)
+    arrays: dict = field(default_factory=dict)
+    #: barrier-separated level this metadata describes (0 for
+    #: single-level workloads); folded into write tags so contributions
+    #: from different levels never alias in ordered-accumulation logs
+    level: int = 0
 
     #: populated in __post_init__
     max_L1: int = field(init=False)
@@ -187,6 +207,24 @@ class Metadata:
 
     def gemm(self, L1: int, L2: int) -> GemmMeta:
         return self.chains[L1].gemms[L2]
+
+    def a_array_of(self, gemm: GemmMeta) -> object:
+        """The GA backing a GEMM's A operand (falls back to va_array)."""
+        if gemm.a_array and gemm.a_array in self.arrays:
+            return self.arrays[gemm.a_array]
+        return self.va_array
+
+    def b_array_of(self, gemm: GemmMeta) -> object:
+        """The GA backing a GEMM's B operand (falls back to tb_array)."""
+        if gemm.b_array and gemm.b_array in self.arrays:
+            return self.arrays[gemm.b_array]
+        return self.tb_array
+
+    def target_array_of(self, chain: ChainMeta) -> object:
+        """The GA a chain's write segments accumulate into."""
+        if chain.target_array and chain.target_array in self.arrays:
+            return self.arrays[chain.target_array]
+        return self.i2_array
 
     def priority(self, L1: int, offset: int) -> float:
         """The paper's expression: ``max_L1 - L1 + offset * P``."""

@@ -46,9 +46,9 @@ def _read_run(which: str, out_flow: str):
     def run(ctx: TaskContext):
         gemm = ctx.md.gemm(*ctx.params)
         if which == "a":
-            lo, hi, array = gemm.a_lo, gemm.a_hi, ctx.md.va_array
+            lo, hi, array = gemm.a_lo, gemm.a_hi, ctx.md.a_array_of(gemm)
         else:
-            lo, hi, array = gemm.b_lo, gemm.b_hi, ctx.md.tb_array
+            lo, hi, array = gemm.b_lo, gemm.b_hi, ctx.md.b_array_of(gemm)
         nbytes = 8.0 * (hi - lo)
         # local GA get on the owner node: exclusive core time at the
         # local ARMCI copy rate, plus the memory traffic itself. This
@@ -155,9 +155,14 @@ def _make_write_run(seg_index_of_params):
             # identity for ordered, exactly-once accumulation.
             ctx.commit()
             if ctx.real:
+                # Tags are level-qualified: chain ids are renumbered
+                # densely per barrier level, so without the level two
+                # contributions from different levels of a multi-level
+                # workload could alias one ordered-accumulation log slot.
+                target = ctx.md.target_array_of(chain)
                 for piece, tag in zip(pieces, tags):
-                    ctx.md.i2_array.accumulate_range_direct(
-                        seg.lo, seg.hi, piece, tag=(ctx.task.key, tag)
+                    target.accumulate_range_direct(
+                        seg.lo, seg.hi, piece, tag=(ctx.md.level, ctx.task.key, tag)
                     )
         finally:
             yield from mutex.unlock()

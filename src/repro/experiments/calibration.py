@@ -33,8 +33,7 @@ import os
 from repro.ga.runtime import GlobalArrays
 from repro.sim.cluster import Cluster, ClusterConfig, DataMode
 from repro.sim.cost import MachineModel
-from repro.tce.molecules import system_for_scale
-from repro.tce.t2_7 import T27Workload, build_t2_7
+from repro.workloads.base import Workload
 
 __all__ = [
     "PAPER_MACHINE",
@@ -114,14 +113,22 @@ def make_workload(
     seed: int = 7,
     skew_factor: int = 1,
     skew_period: int = 0,
-) -> T27Workload:
-    """The t2_7 workload at a named scale on an existing cluster."""
-    system = system_for_scale(scale)
-    ga = GlobalArrays(cluster)
-    return build_t2_7(
+    workload: str = "t2_7",
+) -> Workload:
+    """A registered workload at a named scale on an existing cluster.
+
+    ``workload`` is a registry name or full token; a ``name:params``
+    token wins over ``scale`` (the experiments' ``--workload rbgs:8x8
+    --scale paper`` composition resolves to the explicit grid). The
+    default stays the paper's t2_7 sub-kernel.
+    """
+    from repro.workloads import build_workload
+
+    return build_workload(
+        workload,
         cluster,
-        ga,
-        system.orbital_space(),
+        GlobalArrays(cluster),
+        scale=scale,
         seed=seed,
         skew_factor=skew_factor,
         skew_period=skew_period,

@@ -14,9 +14,12 @@ a straggler window, and a whole-node crash. Each runner must
   (fault injection and recovery are fully deterministic).
 
 Bitwise equivalence is only meaningful with a canonical accumulation
-order, so every run — including the reference — enables the i2 array's
-ordered-accumulation mode; the fault-free timeline is otherwise
-untouched.
+order, so every run — including the reference — enables the output
+array's ordered-accumulation mode; the fault-free timeline is
+otherwise untouched. Any registered workload can be put under chaos
+(``workload=``); multi-level workloads additionally exercise recovery
+across level barriers (a PTG launched after a crash re-homes the dead
+node's tasks at launch).
 
 Each runner's triple is one independent sweep cell (its fault plan is
 derived from its own fault-free horizon, nothing crosses runners), so
@@ -36,7 +39,6 @@ from repro.core import api
 from repro.core.variants import PAPER_VARIANTS, variant_by_name
 from repro.experiments.calibration import make_cluster, make_workload
 from repro.experiments.sweep import SweepCell, SweepExecutor, SweepStats
-from repro.legacy.runtime import LegacyRuntime
 from repro.sim.cluster import DataMode
 from repro.sim.faults import FaultPlan, NodeCrash, Straggler
 from repro.util.rng import derive_seed
@@ -115,25 +117,27 @@ def default_plan(master_seed: int, horizon_s: float, n_nodes: int) -> FaultPlan:
 
 
 def _chaos_run(name, scale, n_nodes, cores_per_node, seed, plan, cache,
-               stealing=False):
-    """One run; returns (i2 values, end time, counter dict)."""
+               stealing=False, workload="t2_7"):
+    """One run; returns (output values, end time, counter dict)."""
     variant = None if name == "original" else variant_by_name(name)
     cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
-    workload = make_workload(cluster, scale=scale, seed=seed)
-    workload.i2.array.enable_ordered_accumulation()
+    workload_obj = make_workload(
+        cluster, scale=scale, seed=seed, workload=workload
+    )
+    workload_obj.output.array.enable_ordered_accumulation()
     if plan is not None:
         cluster.install_faults(plan)
     if variant is None:
         # the legacy runtime has no stealing machinery to exercise
-        LegacyRuntime(cluster, workload.ga).execute_subroutine(workload.subroutine)
+        api.run(workload_obj, runtime="legacy")
     else:
         config = api.RunConfig(
             inspection_cache=cache,
             stealing=api.StealPolicy() if stealing else None,
         )
-        api.run(workload, variant=variant, config=config)
+        api.run(workload_obj, variant=variant, config=config)
     counters = asdict(cluster.faults.report) if cluster.faults else {}
-    return workload.i2.flat_values(), cluster.engine.now, counters
+    return workload_obj.output.flat_values(), cluster.engine.now, counters
 
 
 def _chaos_cell(
@@ -145,6 +149,7 @@ def _chaos_cell(
     fault_seed: int,
     cache=None,
     stealing: bool = False,
+    workload: str = "t2_7",
 ) -> tuple[ChaosOutcome, str]:
     """One runner's full triple (reference + two faulted runs).
 
@@ -152,14 +157,17 @@ def _chaos_cell(
     to a worker process; returns the outcome plus the plan description.
     """
     reference, horizon, _ = _chaos_run(
-        name, scale, n_nodes, cores_per_node, seed, None, cache, stealing
+        name, scale, n_nodes, cores_per_node, seed, None, cache, stealing,
+        workload,
     )
     plan = default_plan(fault_seed, horizon, n_nodes)
     values_a, end_a, counters_a = _chaos_run(
-        name, scale, n_nodes, cores_per_node, seed, plan, cache, stealing
+        name, scale, n_nodes, cores_per_node, seed, plan, cache, stealing,
+        workload,
     )
     values_b, end_b, counters_b = _chaos_run(
-        name, scale, n_nodes, cores_per_node, seed, plan, cache, stealing
+        name, scale, n_nodes, cores_per_node, seed, plan, cache, stealing,
+        workload,
     )
     recovered = any(
         counters_a.get(k, 0) > 0
@@ -202,18 +210,20 @@ def run_chaos(
     progress: Optional[Callable[[str], None]] = None,
     stealing: bool = False,
     codes: Optional[list[str]] = None,
+    workload: str = "t2_7",
 ) -> ChaosResult:
     """The full chaos sweep: legacy plus the five PaRSEC variants.
 
     ``stealing`` enables the work-stealing policy on the PaRSEC
     variants, so the chaos triple also exercises the fault x stealing
     interaction (the legacy runtime ignores it). ``codes`` restricts
-    the sweep to a subset of runners.
+    the sweep to a subset of runners; ``workload`` picks any registered
+    workload (multi-level ones recover across level barriers too).
     """
     names = codes if codes else ["original"] + sorted(PAPER_VARIANTS)
     parsec = sorted(n for n in names if n != "original")
     cache = api.precompute_inspection(
-        scale, n_nodes, codes=parsec, seed=seed
+        scale, n_nodes, codes=parsec, seed=seed, workload=workload
     ) if parsec else None
     cells = [
         SweepCell(
@@ -228,11 +238,14 @@ def run_chaos(
                 fault_seed=fault_seed,
                 cache=cache,
                 stealing=stealing,
+                workload=workload,
             ),
         )
         for name in names
     ]
-    executor = SweepExecutor(jobs=jobs, progress=progress, label=f"chaos[{scale}]")
+    executor = SweepExecutor(
+        jobs=jobs, progress=progress, label=f"chaos[{workload}:{scale}]"
+    )
     results, stats = executor.run(cells)
     outcomes = [results[(name,)][0] for name in names]
     plan_description = results[(names[0],)][1]

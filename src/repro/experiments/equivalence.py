@@ -21,7 +21,7 @@ from repro.core.variants import PAPER_VARIANTS
 from repro.experiments.calibration import make_cluster, make_workload
 from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.sim.cluster import DataMode
-from repro.tce.reference import compute_reference, correlation_energy
+from repro.tce.reference import correlation_energy
 
 __all__ = ["EquivalenceResult", "run_equivalence"]
 
@@ -43,16 +43,24 @@ class EquivalenceResult:
 
 
 def _equivalence_cell(
-    name: str, scale: str, n_nodes: int, cores_per_node: int, seed: int, cache=None
+    name: str,
+    scale: str,
+    n_nodes: int,
+    cores_per_node: int,
+    seed: int,
+    cache=None,
+    workload: str = "t2_7",
 ) -> float:
     """One implementation's correlation energy on a fresh cluster."""
     cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
-    workload = make_workload(cluster, scale=scale, seed=seed)
+    workload_obj = make_workload(
+        cluster, scale=scale, seed=seed, workload=workload
+    )
     if name == "reference":
-        return correlation_energy(compute_reference(workload))
+        return correlation_energy(workload_obj.reference_values())
     config = api.RunConfig(inspection_cache=cache)
-    api.run(workload, runtime=name, config=config)
-    return correlation_energy(workload.i2.flat_values())
+    api.run(workload_obj, runtime=name, config=config)
+    return correlation_energy(workload_obj.output.flat_values())
 
 
 def run_equivalence(
@@ -62,11 +70,16 @@ def run_equivalence(
     seed: int = 7,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    workload: str = "t2_7",
 ) -> EquivalenceResult:
-    """Compute the correlation energy seven ways and compare."""
+    """Compute the correlation energy seven ways and compare.
+
+    ``workload`` selects any registered workload; the "reference" cell
+    is the workload's own dense-NumPy :meth:`reference_values`.
+    """
     names = ["reference", "original"] + sorted(PAPER_VARIANTS)
     cache = api.precompute_inspection(
-        scale, n_nodes, codes=sorted(PAPER_VARIANTS), seed=seed
+        scale, n_nodes, codes=sorted(PAPER_VARIANTS), seed=seed, workload=workload
     )
     cells = [
         SweepCell(
@@ -79,12 +92,13 @@ def run_equivalence(
                 cores_per_node=cores_per_node,
                 seed=seed,
                 cache=cache,
+                workload=workload,
             ),
         )
         for name in names
     ]
     executor = SweepExecutor(
-        jobs=jobs, progress=progress, label=f"equivalence[{scale}]"
+        jobs=jobs, progress=progress, label=f"equivalence[{workload}:{scale}]"
     )
     results, _ = executor.run(cells)
     energies = {name: results[(name,)] for name in names}

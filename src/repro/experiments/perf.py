@@ -64,12 +64,16 @@ class PerfBaseline:
     #: code -> cores/node -> virtual seconds
     times: dict[str, dict[int, float]] = field(default_factory=dict)
     schema: int = BENCH_SCHEMA_VERSION
+    #: registry name of the workload swept. Serialized only when it is
+    #: not the historical default, so committed t2_7 baselines stay
+    #: byte-identical across this field's introduction (no schema bump).
+    workload: str = "t2_7"
     #: wall-clock accounting of the sweep that produced this baseline;
     #: host-side diagnostics only, never serialized into BENCH JSON.
     sweep_stats: Optional[object] = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema": self.schema,
             "scale": self.scale,
             "n_nodes": self.n_nodes,
@@ -79,6 +83,9 @@ class PerfBaseline:
                 for code, series in sorted(self.times.items())
             },
         }
+        if self.workload != "t2_7":
+            payload["workload"] = self.workload
+        return payload
 
     @classmethod
     def from_dict(cls, d: dict) -> "PerfBaseline":
@@ -99,6 +106,7 @@ class PerfBaseline:
                 for code, series in d["times"].items()
             },
             schema=schema,
+            workload=d.get("workload", "t2_7"),
         )
 
     def write(self, path) -> Path:
@@ -137,9 +145,18 @@ def default_baseline_dir() -> Path:
     return Path(__file__).resolve().parents[3] / "benchmarks" / "baselines"
 
 
-def baseline_path(scale: str, root=None) -> Path:
+def baseline_path(scale: str, root=None, workload: str = "t2_7") -> Path:
+    """Baseline file for a (workload, scale) pair.
+
+    The t2_7 default keeps the historical ``BENCH_fig9_<scale>.json``
+    name; other workloads get ``BENCH_fig9_<workload>_<scale>.json``
+    (token separators sanitized for the filesystem).
+    """
     root = Path(root) if root is not None else default_baseline_dir()
-    return root / f"BENCH_fig9_{scale}.json"
+    if workload == "t2_7":
+        return root / f"BENCH_fig9_{scale}.json"
+    tag = workload.replace(":", "_").replace("/", "_")
+    return root / f"BENCH_fig9_{tag}_{scale}.json"
 
 
 @dataclass(frozen=True)
@@ -187,6 +204,7 @@ def run_perf(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     stealing: bool = False,
+    workload: str = "t2_7",
 ) -> PerfBaseline:
     """Run the fig9-style sweep at a scale's preset grid.
 
@@ -214,12 +232,14 @@ def run_perf(
         jobs=jobs,
         progress=progress,
         stealing=stealing,
+        workload=workload,
     )
     return PerfBaseline(
         scale=scale,
         n_nodes=n_nodes,
         core_counts=core_counts,
         times=result.times,
+        workload=workload,
         sweep_stats=result.sweep_stats,
     )
 
@@ -232,8 +252,15 @@ def diff_baselines(
     Returns a :class:`BaselineDiff`: cells of ``new`` slower than
     ``old`` by more than ``threshold`` land in ``regressions``; cells
     of ``old`` that ``new`` no longer contains land in ``missing``.
-    Cells only ``new`` has (a grown grid) are ignored.
+    Cells only ``new`` has (a grown grid) are ignored. Baselines from
+    different workloads never compare — that would gate one workload's
+    regressions against another's timings.
     """
+    if old.workload != new.workload:
+        raise ConfigurationError(
+            f"baseline workload mismatch: old={old.workload!r} vs "
+            f"new={new.workload!r}"
+        )
     diff = BaselineDiff()
     for code in sorted(old.times):
         new_series = new.times.get(code)

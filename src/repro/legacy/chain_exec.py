@@ -112,7 +112,7 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=No
             sw.target.hi,
             sorted_flat,
             label=f"ADD_HASH_BLOCK:{label}.{sw.sort_index}",
-            tag=(chain.chain_id, sw.sort_index),
+            tag=(chain.level, chain.chain_id, sw.sort_index),
         )
 
     # MA_POP_STACK

@@ -138,6 +138,7 @@ class ParsecRuntime:
             raise DataflowError("ParsecRuntime.launch() called twice")
         self.md = md
         self.graph = ptg.instantiate(md, self.cluster.n_nodes, validate=validate)
+        self._rehome_dead_at_launch()
         self.done = self.cluster.engine.event()
         self._completed = 0
         for node in self.cluster.nodes:
@@ -266,6 +267,33 @@ class ParsecRuntime:
     # ------------------------------------------------------------------
     # crash recovery
     # ------------------------------------------------------------------
+    def _rehome_dead_at_launch(self) -> None:
+        """Move tasks mapped to already-dead nodes before execution starts.
+
+        A PTG launched *after* a crash (a later level of a multi-level
+        workload) still places tasks by the static owner map, which may
+        name a node that died during an earlier level. Runs before the
+        schedulers exist, so it only rewrites ``task.node``; the normal
+        seeding path then enqueues on the new homes. Deterministic:
+        sorted key order, survivors filled round-robin.
+        """
+        if self.cluster.faults is None:
+            return
+        alive = [n.alive for n in self.cluster.nodes]
+        if all(alive):
+            return
+        survivors = [n.node_id for n in self.cluster.nodes if n.alive]
+        if not survivors:
+            return  # nothing to fail over to; the watchdog will report
+        placed = 0
+        for key in sorted(self.graph.instances):
+            task = self.graph.instances[key]
+            if alive[task.node]:
+                continue
+            task.node = survivors[placed % len(survivors)]
+            placed += 1
+        self.cluster.faults.report.tasks_reassigned += placed
+
     def _handle_crash(self, node) -> None:
         """Re-home the dead node's unfinished tasks onto survivors.
 

@@ -5,10 +5,13 @@ the parameters that fully determine its output. Because every cell is a
 deterministic pure function of its parameters, a job's *result* is a
 pure function of its *normalized spec* — which is what makes the
 content-addressed result cache sound: the digest covers the workload
-structure (kind, scale, skew — the inputs the structure token is
-derived from), the run configuration (codes, node/core geometry,
-stealing), and the seed, so two submissions with the same digest are
-guaranteed the same bytes back.
+structure (kind, workload name, scale, skew — the inputs the structure
+token is derived from), the run configuration (codes, node/core
+geometry, stealing), and the seed, so two submissions with the same
+digest are guaranteed the same bytes back. In particular two jobs that
+differ only in ``workload`` (say ``t2_7`` vs ``rbgs`` at the same
+scale/seed) always hash to different addresses and can never collide
+in the cache.
 
 Job kinds
 ---------
@@ -46,6 +49,7 @@ _PARAM_DEFAULTS: dict[str, dict[str, Any]] = {
         "code": "v5",
         "cores": 2,
         "scale": "tiny",
+        "workload": "t2_7",
         "n_nodes": 4,
         "seed": 7,
         "stealing": False,
@@ -56,6 +60,7 @@ _PARAM_DEFAULTS: dict[str, dict[str, Any]] = {
         "codes": list(_CODES),
         "core_counts": [1, 2],
         "scale": "tiny",
+        "workload": "t2_7",
         "n_nodes": 4,
         "seed": 7,
         "stealing": False,
@@ -65,6 +70,7 @@ _PARAM_DEFAULTS: dict[str, dict[str, Any]] = {
     "chaos": {
         "codes": ["original", "v1", "v2", "v3", "v4", "v5"],
         "scale": "tiny",
+        "workload": "t2_7",
         "n_nodes": 4,
         "cores_per_node": 2,
         "seed": 7,
@@ -119,11 +125,16 @@ class JobSpec:
         return spec
 
     def _validate(self) -> None:
+        from repro.workloads import parse_workload_token
+
         p = self.params
         if p["scale"] not in _SCALES:
             raise ConfigurationError(
                 f"unknown scale {p['scale']!r}: expected one of {_SCALES}"
             )
+        # rejects unknown workload names / malformed tokens at submit
+        # time, before a worker ever sees the job
+        parse_workload_token(str(p["workload"]), scale=p["scale"])
         codes = p["codes"] if "codes" in p else [p["code"]]
         bad = sorted(set(codes) - set(_CODES))
         if bad:
@@ -147,7 +158,7 @@ class JobSpec:
 
     def describe(self) -> str:
         p = self.params
-        return f"{self.kind}[{p['scale']}] seed={p['seed']}"
+        return f"{self.kind}[{p['workload']}:{p['scale']}] seed={p['seed']}"
 
 
 def job_digest(spec: JobSpec) -> str:
@@ -184,6 +195,7 @@ def build_cells(spec: JobSpec) -> list[SweepCell]:
         cache = api.precompute_inspection(
             p["scale"], p["n_nodes"], codes=(p["code"],), seed=p["seed"],
             skew_factor=p["skew_factor"], skew_period=p["skew_period"],
+            workload=p["workload"],
         )
         return [
             SweepCell(
@@ -199,6 +211,7 @@ def build_cells(spec: JobSpec) -> list[SweepCell]:
                     stealing=p["stealing"],
                     skew_factor=p["skew_factor"],
                     skew_period=p["skew_period"],
+                    workload=p["workload"],
                 ),
             )
         ]
@@ -206,6 +219,7 @@ def build_cells(spec: JobSpec) -> list[SweepCell]:
         cache = api.precompute_inspection(
             p["scale"], p["n_nodes"], codes=tuple(p["codes"]), seed=p["seed"],
             skew_factor=p["skew_factor"], skew_period=p["skew_period"],
+            workload=p["workload"],
         )
         return [
             SweepCell(
@@ -221,6 +235,7 @@ def build_cells(spec: JobSpec) -> list[SweepCell]:
                     stealing=p["stealing"],
                     skew_factor=p["skew_factor"],
                     skew_period=p["skew_period"],
+                    workload=p["workload"],
                 ),
             )
             for code in p["codes"]
@@ -229,7 +244,8 @@ def build_cells(spec: JobSpec) -> list[SweepCell]:
     if spec.kind == "chaos":
         parsec = [c for c in p["codes"] if c != "original"]
         cache = api.precompute_inspection(
-            p["scale"], p["n_nodes"], codes=tuple(parsec), seed=p["seed"]
+            p["scale"], p["n_nodes"], codes=tuple(parsec), seed=p["seed"],
+            workload=p["workload"],
         )
         return [
             SweepCell(
@@ -244,6 +260,7 @@ def build_cells(spec: JobSpec) -> list[SweepCell]:
                     fault_seed=p["fault_seed"],
                     cache=cache,
                     stealing=p["stealing"],
+                    workload=p["workload"],
                 ),
             )
             for name in p["codes"]

@@ -91,10 +91,17 @@ SCALE_PRESETS: dict[str, MoleculeSystem] = {
 
 
 def system_for_scale(scale: str) -> MoleculeSystem:
-    """Look up a scale preset (see DESIGN.md section 7)."""
+    """Look up a scale preset (see DESIGN.md section 7).
+
+    Raises :class:`~repro.util.errors.ConfigurationError` — the same
+    usage-error type the run facade raises for unknown workload and
+    runtime names, so the CLI maps all of them to exit code 2.
+    """
+    from repro.util.errors import ConfigurationError
+
     try:
         return SCALE_PRESETS[scale]
     except KeyError:
-        raise KeyError(
+        raise ConfigurationError(
             f"unknown scale {scale!r}; choose from {sorted(SCALE_PRESETS)}"
         ) from None

@@ -80,6 +80,29 @@ class T27Workload:
         self.subroutine = self.builder.build(T2_7_SPEC)
         self.va, self.tb = self.builder.operand_tensors(T2_7_SPEC)
         self.i2 = self.builder.i2
+        #: canonical workload-SDK token; the registry overwrites this
+        #: with the scale-qualified form (e.g. ``"t2_7:small"``)
+        self.workload_id = "t2_7"
+
+    # -- Workload protocol (see repro.workloads.base) -------------------
+    @property
+    def name(self) -> str:
+        return self.subroutine.name
+
+    @property
+    def output(self):
+        return self.i2
+
+    def levels(self):
+        return [self.subroutine]
+
+    def reference_values(self):
+        from repro.tce.reference import compute_subroutine_reference
+
+        return compute_subroutine_reference(self.subroutine)
+
+    def describe(self) -> str:
+        return self.subroutine.describe()
 
 
 def build_t2_7(

@@ -1,0 +1,35 @@
+"""The workload SDK: a general scenario interface over the chain IR.
+
+See :mod:`repro.workloads.base` for the protocol and
+:mod:`repro.workloads.registry` for the string-addressable registry
+(``repro.run(workload="rbgs:128x128")``). Built-ins: ``t2_7`` (the
+paper's sub-kernel), ``ccsd`` (a full seven-level iteration), and
+``rbgs`` (a red-black Gauss-Seidel tile stencil).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.ccsd import CcsdWorkload
+from repro.workloads.rbgs import GridTensor, RbgsWorkload
+from repro.workloads.registry import (
+    WorkloadSpec,
+    build_workload,
+    canonical_token,
+    parse_workload_token,
+    register_workload,
+    workload_names,
+    workload_spec,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "CcsdWorkload",
+    "RbgsWorkload",
+    "GridTensor",
+    "build_workload",
+    "canonical_token",
+    "parse_workload_token",
+    "register_workload",
+    "workload_names",
+    "workload_spec",
+]

@@ -1,0 +1,84 @@
+"""The Workload protocol — what every registered scenario must provide.
+
+The original system hard-wired one scenario (the ``icsd_t2_7``
+subroutine) through the facade, the experiments, and the service. The
+workload SDK replaces that monopoly with a small structural contract:
+anything that can lower itself to barrier-separated lists of
+:class:`~repro.tce.subroutine.Subroutine` chain IR runs on *all seven
+runtimes* (legacy, the five PTG variants, DTD), under chaos fault
+injection, and inside ``-j N`` sweeps — for free, because every layer
+above the IR is workload-agnostic.
+
+A workload owns:
+
+- a **canonical token** (``workload_id``, e.g. ``"rbgs:tiny"``) and a
+  short ``name`` used in reports;
+- the **cluster** and **GA runtime** its tensors live on;
+- ``levels()`` — the chain/DAG generator: one
+  :class:`~repro.tce.subroutine.Subroutine` per barrier-separated work
+  level, each carrying a stable ``structure_token`` (the inspection
+  cache identity) and chains whose GEMM cost model and GA data layout
+  are resolved through live block references;
+- the **output tensor** (``output``) whose flat contents are the
+  run's result, and
+- ``reference_values()`` — an independent dense-NumPy result for
+  equivalence checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.tce.subroutine import Subroutine
+
+__all__ = ["Workload"]
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Structural protocol every registered workload satisfies.
+
+    Implementations are plain classes (no inheritance required);
+    :class:`~repro.tce.t2_7.T27Workload` is the canonical single-level
+    example, :class:`~repro.workloads.ccsd.CcsdWorkload` the
+    multi-level one.
+    """
+
+    #: canonical registry token, e.g. ``"t2_7:small"``
+    workload_id: str
+    #: the simulated machine the workload's tensors are distributed on
+    cluster: object
+    #: the GA runtime that allocated the tensors
+    ga: object
+    #: seed all tensor fills derive from
+    seed: int
+
+    @property
+    def name(self) -> str:
+        """Short label for reports (e.g. ``"icsd_t2_7"``, ``"rbgs"``)."""
+        ...
+
+    @property
+    def output(self):
+        """The output tensor (has ``flat_values()`` and ``.array``)."""
+        ...
+
+    def levels(self) -> "list[Subroutine]":
+        """Barrier-separated work levels, in execution order.
+
+        Single-phase workloads return one subroutine; runtimes place an
+        explicit synchronization (and its overhead charge) between
+        consecutive levels, exactly as the legacy application does.
+        """
+        ...
+
+    def reference_values(self) -> "np.ndarray":
+        """Independent dense result for the output array (REAL mode)."""
+        ...
+
+    def describe(self) -> str:
+        """One-line structure summary for logs and ``repro info``."""
+        ...

@@ -1,0 +1,146 @@
+"""A full CCSD iteration as one workload: seven barrier-separated PTGs.
+
+Section III-A: the TCE splits one CCSD iteration into "more than 60
+sub-kernels" over "seven different levels" with "an explicit
+synchronization step between those levels". The t2_7 scenario the rest
+of the reproduction grew around is exactly one of those sub-kernels;
+this workload restores the surrounding iteration.
+
+Each level *merges* the chains of its (heterogeneous) terms into one
+:class:`~repro.tce.subroutine.Subroutine`, so a single PTG carries
+cross-subroutine dependencies: ring and ladder terms share operand
+tensors through the builder's pool (their READ tasks contend for the
+same GA owners), every term accumulates into the shared ``i2``
+residual (their WRITE tasks serialize on the same block mutexes), and
+the chain priorities interleave across terms. Levels execute under a
+barrier, matching the legacy application's synchronization structure —
+and the scope the paper gives for task stealing ("only within each
+level").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.tce.cc_iteration import DEFAULT_ITERATION_TERMS, CcsdIteration
+from repro.tce.molecules import system_for_scale
+from repro.tce.subroutine import Subroutine
+from repro.tce.terms import TermBuilder, TermSpec
+
+__all__ = ["CcsdWorkload", "build_ccsd_workload"]
+
+
+def _merge_level(level_index: int, members: list[Subroutine]) -> Subroutine:
+    """One level's terms fused into a single subroutine.
+
+    Chain ids are renumbered densely across the member terms (the PTG's
+    L1 domain and the legacy NXTVAL ticket sequence both need a dense
+    range); each chain keeps its live block references, so GEMMs from
+    different terms resolve to their own operand arrays through the
+    per-GEMM array names the inspector records.
+    """
+    chains = []
+    for sub in members:
+        chains.extend(sub.chains)
+    chains = [
+        dataclasses.replace(chain, chain_id=i) for i, chain in enumerate(chains)
+    ]
+    inputs = []
+    seen = set()
+    for sub in members:
+        for tensor in sub.inputs:
+            if id(tensor) not in seen:
+                seen.add(id(tensor))
+                inputs.append(tensor)
+    member_tokens = tuple(sub.structure_token for sub in members)
+    return Subroutine(
+        name=f"ccsd_L{level_index}",
+        chains=chains,
+        inputs=inputs,
+        output=members[0].output,
+        level=level_index,
+        structure_token=(
+            ("ccsd-level", level_index) + member_tokens
+            if all(tok is not None for tok in member_tokens)
+            else None
+        ),
+    )
+
+
+class CcsdWorkload:
+    """Tensors + per-level chain IR for one CCSD iteration."""
+
+    def __init__(
+        self,
+        cluster,
+        ga,
+        space,
+        seed: int = 7,
+        symmetry_filter: bool = True,
+        skew_factor: int = 1,
+        skew_period: int = 0,
+        terms: tuple[TermSpec, ...] = DEFAULT_ITERATION_TERMS,
+    ) -> None:
+        self.cluster = cluster
+        self.ga = ga
+        self.space = space
+        self.seed = seed
+        self.workload_id = "ccsd"
+        self.builder = TermBuilder(
+            ga,
+            space,
+            seed=seed,
+            symmetry_filter=symmetry_filter,
+            skew_factor=skew_factor,
+            skew_period=skew_period,
+        )
+        self.subroutines = [self.builder.build(spec) for spec in terms]
+        self.iteration = CcsdIteration(
+            builder=self.builder, subroutines=self.subroutines
+        )
+        self.i2 = self.builder.i2
+        self._levels = [
+            _merge_level(index, members)
+            for index, members in enumerate(self.iteration.levels())
+            if members
+        ]
+
+    # -- Workload protocol ----------------------------------------------
+    @property
+    def name(self) -> str:
+        return "ccsd_iteration"
+
+    @property
+    def output(self):
+        return self.i2
+
+    def levels(self) -> list[Subroutine]:
+        return list(self._levels)
+
+    def reference_values(self):
+        from repro.tce.reference import compute_iteration_reference
+
+        return compute_iteration_reference(self.subroutines)
+
+    def describe(self) -> str:
+        return self.iteration.describe()
+
+
+def build_ccsd_workload(
+    cluster,
+    ga,
+    scale: str,
+    seed: int = 7,
+    skew_factor: int = 1,
+    skew_period: int = 0,
+) -> CcsdWorkload:
+    """Registry builder: a CCSD iteration at a named system scale."""
+    system = system_for_scale(scale)
+    return CcsdWorkload(
+        cluster,
+        ga,
+        system.orbital_space(),
+        seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )

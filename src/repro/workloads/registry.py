@@ -1,0 +1,198 @@
+"""String-addressable workload registry and token grammar.
+
+A workload token is ``"<name>"`` or ``"<name>:<params>"``:
+
+- ``"t2_7:small"`` — the paper's sub-kernel at a named system scale;
+- ``"ccsd:tiny"`` — a full CCSD iteration (seven barrier levels);
+- ``"rbgs:128x128"`` — the red-black stencil on an explicit tile grid
+  (presets like ``"rbgs:tiny"`` also work).
+
+Bare legacy scale names (``"tiny"``, ``"small"``, ``"paper"``,
+``"full"``) remain accepted everywhere a token is, resolving to
+``"t2_7:<scale>"`` — the deprecation shim that keeps the original
+``repro.run("small")`` API working. New code should spell the workload
+explicitly.
+
+Adding a workload is one :func:`register_workload` call with a builder
+``(cluster, ga, params, *, seed, skew_factor, skew_period) -> Workload``
+— see ``README.md`` ("Workloads") for the walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.tce.molecules import SCALE_PRESETS
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "WorkloadSpec",
+    "register_workload",
+    "workload_names",
+    "workload_spec",
+    "parse_workload_token",
+    "canonical_token",
+    "build_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registry entry: a name, a builder, and its default params."""
+
+    name: str
+    summary: str
+    builder: Callable
+    default_params: str = "small"
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+#: legacy scale-string shim: a bare scale name is a t2_7 token
+_LEGACY_SCALES = tuple(SCALE_PRESETS)
+
+
+def register_workload(spec: WorkloadSpec) -> None:
+    """Register (or replace) a workload under its name."""
+    _REGISTRY[spec.name] = spec
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def workload_spec(name: str) -> WorkloadSpec:
+    """The spec registered under ``name`` (ConfigurationError if none)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}: registered workloads are "
+            f"{list(workload_names())} (a bare scale name "
+            f"{sorted(_LEGACY_SCALES)} is also accepted as shorthand "
+            f"for 't2_7:<scale>')"
+        ) from None
+
+
+def parse_workload_token(
+    token: str, scale: Optional[str] = None
+) -> tuple[str, str]:
+    """Resolve a token to ``(name, params)``, validating the name.
+
+    ``scale`` supplies the params when the token has none (the
+    experiments' ``--workload rbgs --scale tiny`` composition); an
+    explicit ``name:params`` token wins over it. Bare legacy scale
+    names resolve through the t2_7 shim.
+    """
+    token = token.strip()
+    if ":" in token:
+        name, params = token.split(":", 1)
+        name, params = name.strip(), params.strip()
+        if not params:
+            raise ConfigurationError(f"workload token {token!r} has empty params")
+    elif token in _LEGACY_SCALES and token not in _REGISTRY:
+        name, params = "t2_7", token
+    else:
+        name, params = token, ""
+    spec = workload_spec(name)
+    return name, params or scale or spec.default_params
+
+
+def canonical_token(token: str, scale: Optional[str] = None) -> str:
+    """The fully-qualified ``name:params`` form of any accepted token."""
+    name, params = parse_workload_token(token, scale=scale)
+    return f"{name}:{params}"
+
+
+def build_workload(
+    token: str,
+    cluster,
+    ga=None,
+    *,
+    scale: Optional[str] = None,
+    seed: int = 7,
+    skew_factor: int = 1,
+    skew_period: int = 0,
+):
+    """Instantiate the workload a token names, on the given cluster.
+
+    ``ga`` defaults to a fresh :class:`~repro.ga.runtime.GlobalArrays`
+    on the cluster. The instance's ``workload_id`` is set to the
+    canonical token so cache keys and reports agree on one spelling.
+    """
+    name, params = parse_workload_token(token, scale=scale)
+    if ga is None:
+        from repro.ga.runtime import GlobalArrays
+
+        ga = GlobalArrays(cluster)
+    spec = _REGISTRY[name]
+    workload = spec.builder(
+        cluster,
+        ga,
+        params,
+        seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )
+    workload.workload_id = f"{name}:{params}"
+    return workload
+
+
+# ----------------------------------------------------------------------
+# built-in workloads
+# ----------------------------------------------------------------------
+def _build_t2_7(cluster, ga, params, *, seed=7, skew_factor=1, skew_period=0):
+    from repro.tce.molecules import system_for_scale
+    from repro.tce.t2_7 import build_t2_7
+
+    system = system_for_scale(params)
+    return build_t2_7(
+        cluster,
+        ga,
+        system.orbital_space(),
+        seed=seed,
+        skew_factor=skew_factor,
+        skew_period=skew_period,
+    )
+
+
+def _build_ccsd(cluster, ga, params, *, seed=7, skew_factor=1, skew_period=0):
+    from repro.workloads.ccsd import build_ccsd_workload
+
+    return build_ccsd_workload(
+        cluster, ga, params, seed=seed, skew_factor=skew_factor, skew_period=skew_period
+    )
+
+
+def _build_rbgs(cluster, ga, params, *, seed=7, skew_factor=1, skew_period=0):
+    from repro.workloads.rbgs import build_rbgs_workload
+
+    return build_rbgs_workload(
+        cluster, ga, params, seed=seed, skew_factor=skew_factor, skew_period=skew_period
+    )
+
+
+register_workload(
+    WorkloadSpec(
+        name="t2_7",
+        summary="the paper's icsd_t2_7 sub-kernel (one level); params: scale name",
+        builder=_build_t2_7,
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="ccsd",
+        summary="full CCSD iteration, 14 terms over 7 barrier levels; params: scale name",
+        builder=_build_ccsd,
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="rbgs",
+        summary="red-black Gauss-Seidel tile stencil, 2 colored waves; "
+        "params: scale name, GYxGX, or GYxGXxTILE",
+        builder=_build_rbgs,
+    )
+)

@@ -9,7 +9,7 @@ the independent dense reference.
 import numpy as np
 import pytest
 
-from repro.core.executor import run_over_parsec
+from repro.core.executor import run_ptg
 from repro.core.integration import NwchemDriver
 from repro.core.variants import PAPER_VARIANTS, V2, V4, V5, variant_by_name
 from repro.ga.runtime import GlobalArrays
@@ -34,7 +34,7 @@ class TestNumericalEquivalence:
     @pytest.mark.parametrize("name", sorted(PAPER_VARIANTS))
     def test_variant_matches_dense_reference(self, name):
         cluster, ga, workload = fresh_workload()
-        run = run_over_parsec(cluster, workload.subroutine, variant_by_name(name))
+        run = run_ptg(cluster, workload.subroutine, variant_by_name(name))
         expected = compute_reference(workload)
         np.testing.assert_allclose(
             workload.i2.flat_values(), expected, rtol=1e-12, atol=1e-12
@@ -46,7 +46,7 @@ class TestNumericalEquivalence:
         energies = {}
         for name in sorted(PAPER_VARIANTS):
             cluster, ga, workload = fresh_workload()
-            run_over_parsec(cluster, workload.subroutine, variant_by_name(name))
+            run_ptg(cluster, workload.subroutine, variant_by_name(name))
             energies[name] = correlation_energy(workload.i2.flat_values())
         cluster, ga, workload = fresh_workload()
         LegacyRuntime(cluster, ga).execute_subroutine(workload.subroutine)
@@ -60,7 +60,7 @@ class TestNumericalEquivalence:
         """v1 mimics the original chain order exactly, so even the
         floating-point summation order coincides."""
         cluster, ga, workload = fresh_workload()
-        run_over_parsec(cluster, workload.subroutine, variant_by_name("v1"))
+        run_ptg(cluster, workload.subroutine, variant_by_name("v1"))
         parsec_values = workload.i2.flat_values()
         cluster, ga, workload = fresh_workload()
         LegacyRuntime(cluster, ga).execute_subroutine(workload.subroutine)
@@ -70,7 +70,7 @@ class TestNumericalEquivalence:
 class TestTaskCounts:
     def test_v5_task_census(self):
         cluster, ga, workload = fresh_workload()
-        run = run_over_parsec(cluster, workload.subroutine, V5)
+        run = run_ptg(cluster, workload.subroutine, V5)
         sub = workload.subroutine
         counts = run.result.tasks_per_class
         assert counts["GEMM"] == sub.n_gemms
@@ -86,7 +86,7 @@ class TestTaskCounts:
 
     def test_v1_task_census(self):
         cluster, ga, workload = fresh_workload()
-        run = run_over_parsec(cluster, workload.subroutine, variant_by_name("v1"))
+        run = run_ptg(cluster, workload.subroutine, variant_by_name("v1"))
         sub = workload.subroutine
         counts = run.result.tasks_per_class
         assert counts["DFILL"] == sub.n_chains  # one per chain
@@ -99,7 +99,7 @@ class TestTaskCounts:
 
     def test_v4_has_parallel_sorts_single_write(self):
         cluster, ga, workload = fresh_workload()
-        run = run_over_parsec(cluster, workload.subroutine, V4)
+        run = run_ptg(cluster, workload.subroutine, V4)
         counts = run.result.tasks_per_class
         assert "SORT_I" in counts and "WRITE_C" in counts
         assert "SORT" not in counts and "WRITE_C_I" not in counts
@@ -107,7 +107,7 @@ class TestTaskCounts:
     def test_intermediate_segment_height(self):
         cluster, ga, workload = fresh_workload()
         variant = V4.with_overrides(name="v4h2", segment_height=2)
-        run = run_over_parsec(cluster, workload.subroutine, variant)
+        run = run_ptg(cluster, workload.subroutine, variant)
         expected = compute_reference(workload)
         np.testing.assert_allclose(
             workload.i2.flat_values(), expected, rtol=1e-12, atol=1e-12
@@ -120,7 +120,7 @@ class TestTaskCounts:
 class TestBehaviour:
     def test_write_tasks_run_on_owner_nodes(self):
         cluster, ga, workload = fresh_workload()
-        run = run_over_parsec(cluster, workload.subroutine, V5)
+        run = run_ptg(cluster, workload.subroutine, V5)
         writes = cluster.trace.filtered(category=TaskCategory.WRITE)
         by_label = {}
         for chain in run.metadata.chains:
@@ -132,7 +132,7 @@ class TestBehaviour:
 
     def test_read_tasks_run_on_data_owners(self):
         cluster, ga, workload = fresh_workload()
-        run = run_over_parsec(cluster, workload.subroutine, V5)
+        run = run_ptg(cluster, workload.subroutine, V5)
         reads = cluster.trace.filtered(category=TaskCategory.READ_A)
         owners = {
             f"READ_A({c.chain_id}, {g.position})": g.a_owner
@@ -145,21 +145,21 @@ class TestBehaviour:
     def test_deterministic_timing(self):
         def once():
             cluster, ga, workload = fresh_workload()
-            return run_over_parsec(cluster, workload.subroutine, V4).execution_time
+            return run_ptg(cluster, workload.subroutine, V4).execution_time
 
         assert once() == once()
 
     def test_priorities_help_vs_v2_even_at_tiny_scale(self):
         """v4 (priorities) should not be slower than v2 (none)."""
         cluster, _, workload = fresh_workload(data_mode=DataMode.SYNTH)
-        t_v4 = run_over_parsec(cluster, workload.subroutine, V4).execution_time
+        t_v4 = run_ptg(cluster, workload.subroutine, V4).execution_time
         cluster, _, workload = fresh_workload(data_mode=DataMode.SYNTH)
-        t_v2 = run_over_parsec(cluster, workload.subroutine, V2).execution_time
+        t_v2 = run_ptg(cluster, workload.subroutine, V2).execution_time
         assert t_v4 <= t_v2 * 1.05
 
     def test_synth_mode_executes_full_graph(self):
         cluster, ga, workload = fresh_workload(data_mode=DataMode.SYNTH)
-        run = run_over_parsec(cluster, workload.subroutine, V5)
+        run = run_ptg(cluster, workload.subroutine, V5)
         assert run.result.n_tasks > 3 * workload.subroutine.n_gemms
         assert run.execution_time > 0
 

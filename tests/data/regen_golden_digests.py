@@ -1,8 +1,9 @@
 """Regenerate ``golden_tiny_digests.json`` (run from the repo root).
 
 Only do this for an *intentional* behavioural change — the digests are
-the bitwise-equivalence contract of the DES fast path, and any drift on
-an optimization-only change is a bug, not a baseline refresh.
+the bitwise-equivalence contract of the DES fast path and of the
+workload SDK (every registered workload through every runtime), and any
+drift on an optimization-only change is a bug, not a baseline refresh.
 
     PYTHONPATH=src python tests/data/regen_golden_digests.py
 """
@@ -13,19 +14,22 @@ from pathlib import Path
 from repro.core.api import RunConfig, run
 from repro.tce.reference import correlation_energy
 
+WORKLOADS = ("t2_7", "ccsd", "rbgs")
 RUNTIMES = ("legacy", "v1", "v2", "v3", "v4", "v5", "dtd")
 CONFIG = RunConfig(n_nodes=4, cores_per_node=2, seed=7, metrics=False)
 
 
 def main() -> None:
     digests = {}
-    for runtime in RUNTIMES:
-        result = run("tiny", runtime=runtime, config=CONFIG)
-        digests[runtime] = {
-            "execution_time": result.execution_time.hex(),
-            "energy": correlation_energy(result.output.flat_values()).hex(),
-        }
-        print(runtime, digests[runtime])
+    for workload in WORKLOADS:
+        digests[workload] = {}
+        for runtime in RUNTIMES:
+            result = run(f"{workload}:tiny", runtime=runtime, config=CONFIG)
+            digests[workload][runtime] = {
+                "execution_time": result.execution_time.hex(),
+                "energy": correlation_energy(result.output.flat_values()).hex(),
+            }
+            print(workload, runtime, digests[workload][runtime])
     path = Path(__file__).parent / "golden_tiny_digests.json"
     path.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.executor import run_over_parsec
+from repro.core.executor import run_ptg
 from repro.core.variants import V4
 from repro.ga.runtime import GlobalArrays
 from repro.parsec.scheduler import SchedulerPolicy
@@ -62,7 +62,7 @@ class TestPolicies:
         )
         ga = GlobalArrays(cluster)
         workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
-        run = run_over_parsec(cluster, workload.subroutine, V4, policy=policy)
+        run = run_ptg(cluster, workload.subroutine, V4, policy=policy)
         expected = compute_reference(workload)
         np.testing.assert_allclose(
             workload.i2.flat_values(), expected, rtol=1e-12, atol=1e-12
@@ -76,7 +76,7 @@ class TestPolicies:
             )
             ga = GlobalArrays(cluster)
             workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
-            return run_over_parsec(
+            return run_ptg(
                 cluster, workload.subroutine, V4, policy=policy
             ).execution_time
 

@@ -46,6 +46,24 @@ class TestNormalize:
         spec = JobSpec.normalize("chaos", {"codes": ["v5"], "stealing": True})
         assert JobSpec.from_dict(spec.to_dict()) == spec
 
+    def test_workload_defaults_to_t2_7(self):
+        for kind in JOB_KINDS:
+            assert JobSpec.normalize(kind).params["workload"] == "t2_7"
+
+    def test_workload_tokens_accepted(self):
+        spec = JobSpec.normalize("point", {"workload": "rbgs:8x8"})
+        assert spec.params["workload"] == "rbgs:8x8"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            JobSpec.normalize("point", {"workload": "frobnicate"})
+        with pytest.raises(ConfigurationError, match="empty params"):
+            JobSpec.normalize("fig9", {"workload": "rbgs:"})
+
+    def test_describe_names_the_workload(self):
+        spec = JobSpec.normalize("chaos", {"workload": "rbgs"})
+        assert "rbgs" in spec.describe()
+
 
 class TestDigest:
     def test_equal_specs_equal_digests(self):
@@ -62,6 +80,15 @@ class TestDigest:
     def test_digest_is_stable_hex(self):
         digest = job_digest(JobSpec.normalize("point"))
         assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_workload_separates_digests(self):
+        # same RunConfig/seed, different workload: never the same address
+        for kind in JOB_KINDS:
+            digests = {
+                job_digest(JobSpec.normalize(kind, {"workload": wl}))
+                for wl in ("t2_7", "ccsd", "rbgs")
+            }
+            assert len(digests) == 3
 
 
 class TestBuildCells:
@@ -87,6 +114,11 @@ class TestBuildCells:
     def test_all_kinds_build(self):
         for kind in JOB_KINDS:
             assert build_cells(JobSpec.normalize(kind))
+
+    def test_cells_carry_the_workload(self):
+        spec = JobSpec.normalize("point", {"workload": "rbgs"})
+        cells = build_cells(spec)
+        assert cells and all(c.kwargs["workload"] == "rbgs" for c in cells)
 
 
 class TestSerializeResults:

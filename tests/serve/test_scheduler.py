@@ -32,6 +32,13 @@ def _fake_cells(spec):
             for i in range(max(seed % 10, 1))]
 
 
+def _workload_cells(spec):
+    """One cell whose value is the spec's workload, so each workload's
+    result bytes are distinguishable in the cache."""
+    return [SweepCell(key=("c0",), fn=_ok,
+                      kwargs=dict(value=spec.params["workload"]))]
+
+
 @pytest.fixture
 def scheduler(tmp_path, monkeypatch):
     monkeypatch.setattr("repro.serve.scheduler.build_cells", _fake_cells)
@@ -211,6 +218,43 @@ class TestRecovery:
         assert events[-1]["job_id"] == record.job_id
         journal.close()
         assert rebuild(events).pending == [record.job_id]
+
+
+class TestWorkloadIsolation:
+    """Two workloads with identical RunConfig/seed never collide —
+    not live, and not through a journal replay."""
+
+    def test_replayed_cache_keeps_workloads_apart(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.scheduler.build_cells", _workload_cells)
+        path = tmp_path / "journal.jsonl"
+        retry = RetryPolicy(retries=0, base_delay_s=0.0, max_delay_s=0.0)
+        journal = Journal(path)
+        sched = JobScheduler(journal=journal, pool_jobs=1, retry=retry)
+        sched.start()
+        # identical params except for the workload name
+        a = sched.submit("point", {"seed": 7})  # workload defaults to t2_7
+        b = sched.submit("point", {"seed": 7, "workload": "rbgs"})
+        assert a.job_id != b.job_id and a.digest != b.digest
+        done_a = _wait_done(sched, a.job_id)
+        done_b = _wait_done(sched, b.job_id)
+        assert done_a.result == {"c0": {"value": "t2_7"}}
+        assert done_b.result == {"c0": {"value": "rbgs"}}
+        sched.stop()
+        journal.close()
+
+        # replay the journal into a fresh scheduler: each digest comes
+        # back with its own result, and a resubmission of either spec
+        # is a cache hit serving that workload's bytes, not the other's
+        journal2 = Journal(path)
+        sched2 = JobScheduler(journal=journal2, pool_jobs=1, retry=retry)
+        sched2.recover(rebuild(read_events(path)))
+        hit_a = sched2.submit("point", {"seed": 7})
+        hit_b = sched2.submit("point", {"seed": 7, "workload": "rbgs"})
+        assert hit_a.cached and hit_b.cached
+        assert hit_a.result == {"c0": {"value": "t2_7"}}
+        assert hit_b.result == {"c0": {"value": "rbgs"}}
+        sched2.stop()
+        journal2.close()
 
 
 class TestOverview:

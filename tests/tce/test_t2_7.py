@@ -13,6 +13,7 @@ from repro.tce.molecules import (
 )
 from repro.tce.reference import chain_output, compute_reference, correlation_energy
 from repro.tce.t2_7 import build_t2_7
+from repro.util.errors import ConfigurationError
 
 
 def make_workload(system=None, data_mode=DataMode.REAL, seed=7, symmetry_filter=True):
@@ -150,7 +151,7 @@ class TestWorkloadScales:
     def test_scale_presets_exist(self):
         assert set(SCALE_PRESETS) == {"tiny", "small", "paper", "full"}
         assert system_for_scale("paper").n_basis == 472
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigurationError):
             system_for_scale("bogus")
 
     def test_describe_mentions_counts(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.executor import run_over_parsec
+from repro.core.executor import run_ptg
 from repro.core.integration import NwchemDriver
 from repro.core.variants import V4, V5
 from repro.ga.runtime import GlobalArrays
@@ -83,7 +83,7 @@ class TestTermBuilder:
     def test_ladder_term_over_parsec_matches_reference(self):
         cluster, ga = make_env()
         sub = build_term(ga, tiny_system().orbital_space(), TermSpec("lad", "pp"))
-        run_over_parsec(cluster, sub, V5)
+        run_ptg(cluster, sub, V5)
         expected = compute_subroutine_reference(sub)
         np.testing.assert_allclose(
             sub.output.flat_values(), expected, rtol=1e-12, atol=1e-12
@@ -92,7 +92,7 @@ class TestTermBuilder:
     def test_one_index_term_over_parsec_matches_reference(self):
         cluster, ga = make_env()
         sub = build_term(ga, tiny_system().orbital_space(), TermSpec("one", "h"))
-        run_over_parsec(cluster, sub, V4)
+        run_ptg(cluster, sub, V4)
         expected = compute_subroutine_reference(sub)
         np.testing.assert_allclose(
             sub.output.flat_values(), expected, rtol=1e-12, atol=1e-12

@@ -3,7 +3,7 @@
 import pytest
 
 import repro
-from repro.core.executor import run_over_parsec
+from repro.core.executor import run_ptg
 from repro.core.variants import V5
 from repro.experiments.fig9 import Fig9Result
 from repro.ga.runtime import GlobalArrays
@@ -26,7 +26,7 @@ class TestTopLevelApi:
         )
         ga = repro.GlobalArrays(cluster)
         workload = repro.build_t2_7(cluster, ga, repro.tiny_system().orbital_space())
-        run = repro.run_over_parsec(cluster, workload.subroutine, repro.V5)
+        run = repro.run_ptg(cluster, workload.subroutine, repro.V5)
         assert "icsd_t2_7" in run.describe()
         assert run.execution_time > 0
 
@@ -72,7 +72,7 @@ class TestDescriptions:
         cluster = Cluster(ClusterConfig(n_nodes=2, data_mode=DataMode.SYNTH))
         ga = GlobalArrays(cluster)
         workload = build_t2_7(cluster, ga, tiny_system().orbital_space())
-        run = run_over_parsec(cluster, workload.subroutine, V5)
+        run = run_ptg(cluster, workload.subroutine, V5)
         assert "v5" in run.describe()
         assert "chains" in workload.subroutine.describe()
         assert "icsd_t2_7" in run.metadata.describe()

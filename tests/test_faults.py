@@ -340,14 +340,14 @@ def _fresh_workload(n_nodes=4, cores=2, scale="tiny"):
 
 class TestParsecRecovery:
     def _run(self, plan, variant_name="v4"):
-        from repro.core.executor import run_over_parsec
+        from repro.core.executor import run_ptg
         from repro.core.variants import variant_by_name
 
         cluster, workload = _fresh_workload()
         workload.i2.array.enable_ordered_accumulation()
         if plan is not None:
             cluster.install_faults(plan)
-        run = run_over_parsec(
+        run = run_ptg(
             cluster, workload.subroutine, variant_by_name(variant_name)
         )
         return workload.i2.flat_values(), run.result
@@ -371,13 +371,13 @@ class TestParsecRecovery:
         assert np.array_equal(values, reference)
 
     def test_crash_with_no_survivors_raises_stall_report(self):
-        from repro.core.executor import run_over_parsec
+        from repro.core.executor import run_ptg
         from repro.core.variants import variant_by_name
 
         cluster, workload = _fresh_workload(n_nodes=1, cores=1)
         cluster.install_faults(FaultPlan(crashes=(NodeCrash(node=0, at=1e-6),)))
         with pytest.raises(StallError, match="stalled") as excinfo:
-            run_over_parsec(cluster, workload.subroutine, variant_by_name("v1"))
+            run_ptg(cluster, workload.subroutine, variant_by_name("v1"))
         message = str(excinfo.value)
         assert "alive=False" in message
         assert "fault report" in message
@@ -476,6 +476,23 @@ class TestChaosSweep:
         )
         assert [o.name for o in result.outcomes] == ["original"]
         assert result.outcomes[0].ok
+
+    def test_stencil_workload_recovers_bitwise(self):
+        """The rbgs stencil under the fault plan: both colored waves
+        recover to the bitwise fault-free grid — a crash in the red
+        wave makes the black wave's PTG re-home the dead node's tiles
+        at launch, across the level barrier."""
+        from repro.experiments.chaos import run_chaos
+
+        result = run_chaos(
+            scale="tiny", n_nodes=4, cores_per_node=2,
+            codes=["original", "v1", "v5"], workload="rbgs",
+        )
+        assert [o.name for o in result.outcomes] == ["original", "v1", "v5"]
+        for outcome in result.outcomes:
+            assert outcome.bitwise_match, outcome.name
+            assert outcome.deterministic, outcome.name
+            assert outcome.faults_recovered, outcome.name
 
 
 # ----------------------------------------------------------------------

@@ -114,33 +114,39 @@ class TestDeterminism:
 
 
 class TestGoldenDigests:
-    """Bitwise virtual-time + energy digests across every runtime.
+    """Bitwise virtual-time + energy digests: workload x runtime.
 
-    The committed digests were captured *before* the DES fast path
-    (immediate lane, try_get workers, inspection cache) landed; the
-    fast path's contract is that they never move. Regenerate with
-    ``tests/data/regen_golden_digests.py`` only for an intentional
-    behavioural change.
+    The t2_7 digests were captured *before* the DES fast path
+    (immediate lane, try_get workers, inspection cache) landed and
+    survived the workload-SDK refactor bit for bit; the ccsd and rbgs
+    digests pin the two new workloads through every runtime the same
+    way. Regenerate with ``tests/data/regen_golden_digests.py`` only
+    for an intentional behavioural change.
     """
 
     GOLDEN = Path(__file__).parent / "data" / "golden_tiny_digests.json"
+    WORKLOADS = ["t2_7", "ccsd", "rbgs"]
+    RUNTIMES = ["legacy", "v1", "v2", "v3", "v4", "v5", "dtd"]
 
     @pytest.fixture(scope="class")
     def golden(self):
         return json.loads(self.GOLDEN.read_text())
 
-    def test_covers_every_runtime(self, golden):
-        assert sorted(golden) == ["dtd", "legacy", "v1", "v2", "v3", "v4", "v5"]
+    def test_covers_every_workload_and_runtime(self, golden):
+        assert sorted(golden) == sorted(self.WORKLOADS)
+        for workload in self.WORKLOADS:
+            assert sorted(golden[workload]) == sorted(self.RUNTIMES)
 
-    @pytest.mark.parametrize("rt", ["legacy", "v1", "v2", "v3", "v4", "v5", "dtd"])
-    def test_digest_bitwise_stable(self, golden, rt):
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_digest_bitwise_stable(self, golden, workload, rt):
         from repro.tce.reference import correlation_energy
 
         config = RunConfig(n_nodes=4, cores_per_node=2, seed=7, metrics=False)
-        result = run("tiny", runtime=rt, config=config)
-        assert result.execution_time.hex() == golden[rt]["execution_time"]
+        result = run(f"{workload}:tiny", runtime=rt, config=config)
+        assert result.execution_time.hex() == golden[workload][rt]["execution_time"]
         energy = correlation_energy(result.output.flat_values())
-        assert energy.hex() == golden[rt]["energy"]
+        assert energy.hex() == golden[workload][rt]["energy"]
 
 
 class TestInspectionCache:
@@ -179,26 +185,28 @@ class TestInspectionCache:
 
 
 class TestDeprecatedShim:
-    def test_run_over_parsec_warns_and_still_works(self):
-        cluster = make_cluster(2, n_nodes=4, data_mode=repro.DataMode.REAL)
-        workload = make_workload(cluster, scale="tiny")
+    def test_bare_scale_warns_and_still_works(self):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            ccsd_run = repro.run_over_parsec(cluster, workload.subroutine, repro.V5)
+            result = run("tiny", runtime="v5", config=TINY)
         assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert ccsd_run.execution_time > 0
-        assert ccsd_run.result.variant == "v5"
+        assert result.execution_time > 0
+        assert result.variant == "v5"
+        assert result.report.scale == "tiny"
 
-    def test_shim_matches_facade_timing(self):
-        def fresh():
-            cluster = make_cluster(2, n_nodes=4)
-            return make_workload(cluster, scale="tiny")
-
-        facade_time = run(fresh(), variant=repro.V5).execution_time
-        workload = fresh()
+    def test_bare_scale_matches_explicit_token(self):
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
-            shim_time = repro.run_over_parsec(
-                workload.cluster, workload.subroutine, repro.V5
-            ).execution_time
-        assert facade_time == shim_time
+            shim = run("tiny", runtime="v5", config=TINY)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            explicit = run("t2_7:tiny", runtime="v5", config=TINY)
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert shim.execution_time == explicit.execution_time
+        assert (shim.output.flat_values() == explicit.output.flat_values()).all()
+
+    def test_run_over_parsec_is_gone(self):
+        assert not hasattr(repro, "run_over_parsec")
+        assert callable(repro.run_ptg)
