@@ -1,23 +1,28 @@
-"""Service smoke: kill the daemon mid-life, prove nothing is lost.
+"""Service smoke: kill a concurrent daemon mid-flight, prove nothing is lost.
 
 Drives the real ``python -m repro serve`` subprocess through the full
-resilience story:
+resilience story, now with concurrent workers and journal compaction:
 
-1. start the daemon with a fresh journal,
-2. submit a tiny fig9 job and wait for it to finish,
-3. SIGKILL the daemon — no graceful shutdown, no flush beyond the
+1. start the daemon with a fresh journal and ``--workers 2``,
+2. submit three distinct fig9 jobs at once and SIGKILL the daemon while
+   they are in flight — no graceful shutdown, no flush beyond the
    per-event fsync the journal already did,
-4. restart the daemon over the same journal,
-5. resubmit the same job and assert it is answered from the replayed
+3. restart the daemon over the same journal: every job recovers and
+   finishes, and the journal holds exactly one ``job_finished`` per
+   job — no job lost, no result duplicated,
+4. resubmit each spec and assert it is answered from the replayed
    result cache (``cached: true``, byte-identical payload) without
-   re-running a single simulation.
+   re-running a single simulation, then SIGTERM — the clean shutdown
+   compacts the journal into one snapshot line,
+5. start a third daemon over the *compacted* journal and assert it
+   serves identical status and result payloads for every prior job id.
 
 Run from the repository root::
 
     PYTHONPATH=src python examples/service_smoke.py
 
-Exit code 0 means the journal + replay + cache chain held end to end.
-CI runs this on every push (the ``service-smoke`` job).
+Exit code 0 means the journal + replay + cache + compaction chain held
+end to end. CI runs this on every push (the ``service-smoke`` job).
 """
 
 import json
@@ -33,14 +38,20 @@ from repro.serve.client import ServiceClient
 from repro.serve.journal import read_events
 
 JOB_KIND = "fig9"
-JOB_PARAMS = {"codes": ["v5"], "core_counts": [1], "scale": "tiny",
-              "n_nodes": 2}
+#: three distinct jobs (different seeds -> different digests), several
+#: cells each so the SIGKILL lands while work is genuinely in flight
+JOB_PARAMS = [
+    {"codes": ["v4", "v5"], "core_counts": [1, 2], "scale": "tiny",
+     "n_nodes": 2, "seed": seed}
+    for seed in (7, 8, 9)
+]
 
 
 def start_daemon(journal: Path) -> tuple[subprocess.Popen, ServiceClient]:
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--journal", str(journal), "--jobs", "1"],
+         "--journal", str(journal), "--jobs", "2", "--workers", "2",
+         "--compact-bytes", "65536"],
         stdout=subprocess.PIPE,
         text=True,
     )
@@ -59,41 +70,82 @@ def start_daemon(journal: Path) -> tuple[subprocess.Popen, ServiceClient]:
 def main() -> int:
     journal = Path(tempfile.mkdtemp(prefix="repro-serve-")) / "journal.jsonl"
 
-    print("=== first daemon: run the job for real")
+    print("=== first daemon: three concurrent jobs, then SIGKILL mid-flight")
     proc, client = start_daemon(journal)
-    submitted = client.submit(JOB_KIND, JOB_PARAMS)
-    print(f"submitted {submitted['job_id']} (cached={submitted['cached']})")
-    first = client.wait(submitted["job_id"], timeout_s=300.0)
-    assert first["status"] == "done", first
-    assert not first["cached"]
-    print(f"finished: {sorted(first['result'])}")
-
-    print("=== SIGKILL the daemon (no graceful shutdown)")
+    submitted = [client.submit(JOB_KIND, params) for params in JOB_PARAMS]
+    job_ids = [s["job_id"] for s in submitted]
+    print(f"submitted {job_ids}")
+    # wait until at least one job has observably started, then kill —
+    # some jobs may already be done, some mid-run, some still queued;
+    # recovery has to absorb every mix
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        events = [e["event"] for e in read_events(journal)]
+        if "job_started" in events:
+            break
+        time.sleep(0.02)
+    else:
+        raise SystemExit("no job ever started")
     proc.send_signal(signal.SIGKILL)
     proc.wait(timeout=10.0)
     events = [e["event"] for e in read_events(journal)]
     assert "daemon_stopped" not in events, "that was not a crash"
     print(f"journal after crash: {events}")
 
-    print("=== second daemon: replay the journal")
+    print("=== second daemon: replay, finish everything exactly once")
     proc2, client2 = start_daemon(journal)
+    results = {}
     try:
-        again = client2.submit(JOB_KIND, JOB_PARAMS)
-        print(f"resubmitted -> {again['job_id']} cached={again['cached']}")
-        assert again["cached"], "replayed cache should have answered"
-        assert again["status"] == "done"
-        replayed = client2.result(again["job_id"])
-        assert replayed["result"] == first["result"], "cache changed the bytes"
+        for job_id in job_ids:
+            body = client2.wait(job_id, timeout_s=300.0)
+            assert body["status"] == "done", body
+            results[job_id] = body["result"]
+        print(f"all {len(job_ids)} jobs done after restart")
+        finished = [
+            e for e in read_events(journal) if e["event"] == "job_finished"
+        ]
+        # exactly one finish per submitted job: recovered, never re-run
+        # after completing, never lost
+        assert sorted(e["job_id"] for e in finished) == sorted(job_ids), (
+            "duplicate or missing job_finished records"
+        )
+        for params, job_id in zip(JOB_PARAMS, job_ids):
+            again = client2.submit(JOB_KIND, params)
+            assert again["cached"], "replayed cache should have answered"
+            hit = client2.result(again["job_id"])
+            assert hit["result"] == results[job_id], "cache changed the bytes"
         view = client2.metrics()
-        assert view["cache"]["hits"] >= 1
-        print(f"metrics: cache={view['cache']} breaker={view['breaker']}")
+        assert view["cache"]["hits"] >= 3
+        assert view["workers"] == 2
+        print(f"metrics: cache={view['cache']} journal={view['journal']}")
     finally:
         proc2.send_signal(signal.SIGTERM)
         proc2.wait(timeout=15.0)
-    assert read_events(journal)[-1]["event"] == "daemon_stopped"
+    events = read_events(journal)
+    assert events[-1]["event"] == "daemon_stopped"
+    # the clean shutdown folded the whole history into one snapshot line
+    assert "snapshot" in [e["event"] for e in events], "no compaction ran"
+    print(f"journal compacted to {len(events)} events "
+          f"({journal.stat().st_size} bytes)")
 
-    print(json.dumps({"smoke": "ok", "journal_events": len(read_events(journal))}))
-    print("OK: completed job survived SIGKILL and served from cache")
+    print("=== third daemon: serve identical payloads from the snapshot")
+    proc3, client3 = start_daemon(journal)
+    try:
+        for job_id, result in results.items():
+            status = client3.status(job_id)
+            assert status["status"] == "done", status
+            body = client3.result(job_id)
+            assert body["result"] == result, (
+                f"compacted replay changed the bytes of {job_id}"
+            )
+    finally:
+        proc3.send_signal(signal.SIGTERM)
+        proc3.wait(timeout=15.0)
+
+    print(json.dumps({"smoke": "ok",
+                      "journal_events": len(read_events(journal))}))
+    print("OK: three concurrent jobs survived SIGKILL; the compacted "
+          "journal serves identical results")
     return 0
 
 

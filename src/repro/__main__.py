@@ -11,13 +11,17 @@ Subcommands regenerate the paper's artifacts without pytest:
 - ``perf``        fig9-style sweep vs a committed BENCH baseline
 - ``info``        workload/scale/machine summary
 
-The simulation service adds four more:
+The simulation service adds five more:
 
 - ``serve``       long-lived daemon executing submitted jobs (journaled,
-  crash-recoverable; see README "Simulation service")
-- ``submit``      send a job to a running daemon
+  crash-recoverable, ``--workers N`` jobs concurrently; see README
+  "Simulation service")
+- ``submit``      send a job to a running daemon (``--priority`` biases
+  which queued job a free worker picks first)
 - ``status``      one job's status, or the daemon overview
 - ``result``      fetch (optionally wait for) a job's result
+- ``watch``       stream a job's progress events (one JSON line per
+  started/cell/finished event) until it completes
 
 Exit codes are uniform across subcommands: ``0`` for success (including
 informational runs at non-paper scales), ``1`` when a declared check
@@ -474,9 +478,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal_path=args.journal,
         host=args.host,
         port=args.port,
+        workers=args.workers,
         pool_jobs=args.jobs,
         cell_timeout=args.cell_timeout,
         retry=RetryPolicy(retries=args.retries),
+        compact_bytes=args.compact_bytes,
     )
 
     def _on_sigterm(signum, frame):
@@ -490,6 +496,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"journal replay: {len(recovered.jobs)} job(s), "
             f"{len(recovered.pending)} requeued, "
             f"{len(recovered.results)} cached result(s)",
+            file=sys.stderr,
+        )
+    if daemon.corrupt_lines:
+        print(
+            f"journal replay skipped {daemon.corrupt_lines} corrupt "
+            f"line(s)",
             file=sys.stderr,
         )
     print(f"serving on {daemon.host}:{daemon.port}", flush=True)
@@ -521,8 +533,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from repro.serve.client import ServiceError, ServiceUnavailable
 
     client = _client(args)
+    params = _parse_params(args.param)
+    if args.priority:
+        params["priority"] = args.priority
     try:
-        body = client.submit(args.kind, _parse_params(args.param))
+        body = client.submit(args.kind, params)
         if args.wait:
             body = client.wait(body["job_id"], timeout_s=args.timeout)
     except ServiceUnavailable as exc:
@@ -571,6 +586,29 @@ def cmd_result(args: argparse.Namespace) -> int:
     if body.get("status") in ("queued", "running"):
         return EXIT_CHECK_FAILED  # asked for a result that isn't ready
     return EXIT_OK
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Stream one job's progress events to stdout as JSON lines."""
+    import json
+
+    from repro.serve.client import ServiceError
+
+    client = _client(args)
+    final_status = None
+    try:
+        for event in client.events(args.job_id, since=args.since):
+            print(json.dumps(event, sort_keys=True), flush=True)
+            if event.get("type") == "finished":
+                final_status = event.get("status")
+        if final_status is None:
+            # stream closed without a visible finish (e.g. watching a
+            # job recovered from a journal replay): ask once
+            final_status = client.status(args.job_id).get("status")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECK_FAILED
+    return EXIT_OK if final_status == "done" else EXIT_CHECK_FAILED
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -745,11 +783,30 @@ def main(argv: list[str] | None = None) -> int:
         help="append-only JSONL event store (jobs survive restarts)",
     )
     p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="jobs executed simultaneously (default: 1)",
+    )
+    p.add_argument(
         "--jobs",
         "-j",
         type=int,
         default=2,
-        help="worker processes per job's sweep (default: 2)",
+        help=(
+            "shared process-slot budget for all running jobs' sweeps "
+            "(default: 2; each job carves a fair share)"
+        ),
+    )
+    p.add_argument(
+        "--compact-bytes",
+        type=int,
+        default=262144,
+        help=(
+            "compact the journal into a snapshot once it exceeds this "
+            "many bytes (0 disables the size trigger; clean shutdown "
+            "always compacts)"
+        ),
     )
     p.add_argument(
         "--cell-timeout",
@@ -781,6 +838,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     p.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help=(
+            "scheduling priority (higher runs first; queued jobs age "
+            "upward so nothing starves). Not part of the job's digest."
+        ),
+    )
+    p.add_argument(
         "--wait", action="store_true", help="block until the job finishes"
     )
     p.add_argument(
@@ -805,6 +871,19 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=300.0, help="--wait limit in seconds"
     )
     p.set_defaults(func=cmd_result)
+
+    p = subparsers.add_parser(
+        "watch", help="stream a job's progress events until it finishes"
+    )
+    _add_endpoint(p)
+    p.add_argument("job_id", help="job to follow")
+    p.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        help="resume after the N-th event (skip what you already saw)",
+    )
+    p.set_defaults(func=cmd_watch)
 
     args = parser.parse_args(argv)
     from repro.util.errors import ConfigurationError

@@ -271,6 +271,15 @@ class SweepExecutor:
         stores a :class:`CellError` under the cell's key instead, so
         the sweep completes as a partial result with every healthy cell
         intact.
+    on_cell_done:
+        Optional structured completion callback, invoked exactly once
+        per cell when its fate is final: ``on_cell_done(cell, ok,
+        wall_s)`` with ``ok=True`` for a computed value (``wall_s`` is
+        the host seconds inside the cell function) and ``ok=False``
+        for a recorded :class:`CellError`. Unlike parsing ``progress``
+        lines, this never double-counts retried cells and survives
+        progress-format changes — it is the contract the service's
+        per-cell accounting rides on.
     """
 
     def __init__(
@@ -282,6 +291,7 @@ class SweepExecutor:
         timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         on_error: str = "raise",
+        on_cell_done: Optional[Callable[[SweepCell, bool, float], None]] = None,
     ) -> None:
         if jobs is None or jobs == 0:
             import os
@@ -301,6 +311,7 @@ class SweepExecutor:
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.on_error = on_error
+        self.on_cell_done = on_cell_done
 
     # ------------------------------------------------------------------
     def run(self, cells: Sequence[SweepCell]) -> tuple[dict[tuple, Any], SweepStats]:
@@ -341,6 +352,10 @@ class SweepExecutor:
         if self.progress is not None:
             self.progress(f"{self.label}: {message}")
 
+    def _cell_done(self, cell: SweepCell, ok: bool, wall: float) -> None:
+        if self.on_cell_done is not None:
+            self.on_cell_done(cell, ok, wall)
+
     def _run_serial(self, cells, stats) -> dict[tuple, Any]:
         by_key: dict[tuple, Any] = {}
         for done, cell in enumerate(cells, start=1):
@@ -354,6 +369,7 @@ class SweepExecutor:
             by_key[cell.key] = value
             stats.cell_wall_s[cell.label()] = wall
             self._note(done, len(cells), cell, wall)
+            self._cell_done(cell, True, wall)
         return by_key
 
     # -- pooled path with crash/timeout recovery -----------------------
@@ -381,6 +397,7 @@ class SweepExecutor:
         by_key[cell.key] = error
         stats.cell_errors[cell.label()] = kind
         self._note_event(f"cell {cell.label()} failed ({kind}): {message}")
+        self._cell_done(cell, False, 0.0)
 
     @staticmethod
     def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -468,6 +485,7 @@ class SweepExecutor:
                         by_key[cell.key] = value
                         stats.cell_wall_s[cell.label()] = wall
                         self._note(done_count, total, cell, wall)
+                        self._cell_done(cell, True, wall)
                 if victims:
                     # worker death: every in-flight cell is a suspect
                     suspects = victims + [c for c, _ in inflight.values()]

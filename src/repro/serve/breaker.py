@@ -19,6 +19,7 @@ The clock is injected so tests never sleep.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -78,6 +79,9 @@ class CircuitBreaker:
         self.clock = clock
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.state = "closed"
+        #: serializes state transitions: HTTP threads admit while N
+        #: scheduler workers record successes/failures concurrently
+        self._lock = threading.Lock()
         self._failures: deque[float] = deque()
         self._opened_at = 0.0
         self._probe_inflight = False
@@ -101,6 +105,10 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
     def admit(self, queue_depth: int) -> Admission:
         """Gate one submission given the current queue depth."""
+        with self._lock:
+            return self._admit_locked(queue_depth)
+
+    def _admit_locked(self, queue_depth: int) -> Admission:
         now = self.clock()
         if self.state == "open":
             elapsed = now - self._opened_at
@@ -121,14 +129,19 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """A job finished cleanly."""
-        if self.state == "half-open":
-            self.state = "closed"
-            self._failures.clear()
-            self._probe_inflight = False
-            self._set_gauge()
+        with self._lock:
+            if self.state == "half-open":
+                self.state = "closed"
+                self._failures.clear()
+                self._probe_inflight = False
+                self._set_gauge()
 
     def record_failure(self) -> None:
         """A job failed, was degraded to partial, or poisoned a cell."""
+        with self._lock:
+            self._record_failure_locked()
+
+    def _record_failure_locked(self) -> None:
         now = self.clock()
         if self.state == "half-open":
             # the probe failed: back to open, cooldown restarts
@@ -149,6 +162,10 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        with self._lock:
+            return self._to_dict_locked()
+
+    def _to_dict_locked(self) -> dict:
         now = self.clock()
         self._prune(now)
         d = {

@@ -11,6 +11,7 @@ future submission that might complete.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.obs.registry import NULL_METRICS, MetricsRegistry
@@ -24,34 +25,46 @@ class ResultCache:
     Persistence comes from the journal, not from here: on boot the
     daemon replays ``job_finished`` events into :meth:`put`, so the
     cache is exactly as durable as the journal that feeds it.
+
+    Thread-safe: with N scheduler workers finishing jobs while HTTP
+    threads probe for hits, the entry map and the hit/miss counters
+    mutate under one internal lock.
     """
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._entries: dict[str, dict] = {}
+        self._lock = threading.Lock()
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.hits = 0
         self.misses = 0
 
     def get(self, digest: str) -> Optional[dict]:
-        entry = self._entries.get(digest)
-        if entry is None:
-            self.misses += 1
-            self.metrics.inc("serve.cache.misses")
-            return None
-        self.hits += 1
-        self.metrics.inc("serve.cache.hits")
-        return entry
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                self.metrics.inc("serve.cache.misses")
+                return None
+            self.hits += 1
+            self.metrics.inc("serve.cache.hits")
+            return entry
 
     def put(self, digest: str, payload: dict) -> None:
-        self._entries[digest] = payload
-        self.metrics.gauge_set("serve.cache.entries", float(len(self._entries)))
+        with self._lock:
+            self._entries[digest] = payload
+            self.metrics.gauge_set(
+                "serve.cache.entries", float(len(self._entries))
+            )
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._entries
+        with self._lock:
+            return digest in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
-        return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses}
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses}

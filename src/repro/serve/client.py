@@ -92,6 +92,64 @@ class ServiceClient:
         _, body = self._request("GET", f"/jobs/{job_id}/result")
         return body
 
+    def events(self, job_id: str, since: int = 0):
+        """Stream a job's progress events as they happen.
+
+        Generator over the daemon's ``GET /jobs/<id>/events`` route:
+        yields one dict per event (``started``, per-cell ``cell``
+        completions, terminal ``finished``) and returns when the
+        daemon closes the stream — i.e. when the job is final. The
+        daemon's keepalive lines (sent through quiet long-poll slices)
+        are filtered out. ``since`` resumes after the N-th event, so a
+        reconnecting client never re-processes what it already saw.
+        """
+        req = urllib.request.Request(
+            f"{self.base}/jobs/{job_id}/events?since={int(since)}",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    if event.get("type") == "keepalive":
+                        continue
+                    yield event
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                body = {}
+            raise ServiceError(
+                body.get("error", f"HTTP {exc.code}"), status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach daemon at {self.base}: {exc.reason}"
+            ) from None
+
+    def watch(self, job_id: str, timeout_s: float = 300.0) -> dict:
+        """Follow a job's event stream to completion, then fetch its
+        result payload. Raises :class:`ServiceError` on timeout."""
+        deadline = time.monotonic() + timeout_s
+        seen = 0
+        while True:
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still unfinished after {timeout_s}s"
+                )
+            try:
+                for event in self.events(job_id, since=seen):
+                    seen += 1
+                    if event.get("type") == "finished":
+                        return self.result(job_id)
+            except TimeoutError:
+                continue  # idle longer than our socket timeout; resume
+            # stream closed: the job is final (or was final on arrival)
+            return self.result(job_id)
+
     def wait(self, job_id: str, timeout_s: float = 120.0) -> dict:
         """Poll until the job reaches a final state; returns the result
         payload. Raises :class:`ServiceError` on timeout."""

@@ -2,7 +2,9 @@
 
 Stdlib only — a ``ThreadingHTTPServer`` on localhost. HTTP threads are
 the *listener* plane: they parse, consult the scheduler under its lock,
-and answer; all simulation work happens on the scheduler's worker pool.
+and answer; all simulation work happens on the scheduler's worker pool
+(``workers`` concurrent jobs over the shared ``pool_jobs`` slot
+budget).
 
 Routes::
 
@@ -10,16 +12,28 @@ Routes::
         202 {"job_id", "status", "cached"}     admitted (or cache hit)
         503 {"error", "reason", "retry_after_s"}   breaker shed it
         400 {"error"}                          malformed spec
-    GET  /jobs              overview: queue, breaker, cache, job table
+    GET  /jobs              overview: queue, breaker, cache, job table,
+                            the ids currently running (a list — N jobs
+                            run simultaneously)
     GET  /jobs/<id>         one job's status
     GET  /jobs/<id>/result  200 result | 202 {"status", "retry_after_s"}
+    GET  /jobs/<id>/events  long-poll progress stream: one JSON line
+                            per event (started / per-cell completion /
+                            finished), ``?since=N`` resumes after the
+                            N-th event; the connection closes when the
+                            job is final, so a client just reads lines
+                            to EOF instead of polling on a timer
     GET  /metrics           MetricsRegistry snapshot + service gauges
     GET  /healthz           {"ok": true}
 
 Boot replays the journal (see :mod:`repro.serve.journal`): finished
 jobs repopulate the content-addressed cache and are served without
 re-running; submitted-or-started-but-unfinished jobs are requeued, so
-a SIGKILL loses no job and duplicates no result.
+a SIGKILL loses no job and duplicates no result. Torn/corrupt lines
+skipped during that replay are *counted* and reported — in the
+``daemon_started`` record (``corrupt_lines=``) and on ``/metrics`` —
+instead of vanishing silently. A clean shutdown compacts the journal
+into one snapshot line before the final ``daemon_stopped`` marker.
 """
 
 from __future__ import annotations
@@ -29,6 +43,7 @@ import re
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
+from urllib.parse import parse_qs, urlparse
 
 from repro.experiments.sweep import RetryPolicy
 from repro.obs.registry import MetricsRegistry
@@ -40,10 +55,15 @@ from repro.util.errors import ConfigurationError, ReproError
 
 __all__ = ["ServeDaemon"]
 
-_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/result)?$")
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/result|/events)?$")
 
 #: polling hint returned with 202 "not finished yet" responses
 _POLL_HINT_S = 0.5
+
+#: long-poll slice for the /events route; between slices the handler
+#: emits a keepalive line so idle streams keep defeating client
+#: read timeouts
+_EVENT_WAIT_S = 5.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -62,27 +82,72 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # requests are not worth a stderr line each
 
     # ------------------------------------------------------------------
+    def _stream_events(self, job_id: str, since: int) -> None:
+        """Serve ``/jobs/<id>/events``: newline-delimited JSON, one
+        record per scheduler event, connection close marks the end.
+
+        HTTP/1.0 semantics: no Content-Length, the body is everything
+        until close — which is exactly what an unbounded-in-advance
+        stream needs. Each line is flushed as it happens, so a client
+        sees per-cell completions live instead of polling ``status``
+        every half second.
+        """
+        daemon = self.daemon
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        cursor = max(since, 0)
+        try:
+            while True:
+                events, final = daemon.scheduler.events_since(
+                    job_id, cursor, wait_s=_EVENT_WAIT_S
+                )
+                for event in events:
+                    self.wfile.write(
+                        (json.dumps(event, sort_keys=True) + "\n").encode()
+                    )
+                cursor += len(events)
+                if not events and not final:
+                    # quiet long-poll slice: keep the stream alive
+                    self.wfile.write(b'{"type": "keepalive"}\n')
+                self.wfile.flush()
+                if final:
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            return  # the client hung up; nothing to clean up
+
+    # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
-        daemon = self.server.daemon  # type: ignore[attr-defined]
-        if self.path == "/healthz":
+        daemon = self.daemon
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
             self._send(200, {"ok": True})
             return
-        if self.path == "/metrics":
+        if parsed.path == "/metrics":
             self._send(200, daemon.metrics_view())
             return
-        if self.path == "/jobs":
+        if parsed.path == "/jobs":
             self._send(200, daemon.scheduler.overview())
             return
-        match = _JOB_PATH.match(self.path)
+        match = _JOB_PATH.match(parsed.path)
         if match is None:
             self._send(404, {"error": f"no such route: {self.path}"})
             return
-        job_id, want_result = match.group(1), bool(match.group(2))
+        job_id, sub = match.group(1), match.group(2) or ""
         record = daemon.scheduler.get(job_id)
         if record is None:
             self._send(404, {"error": f"unknown job {job_id}"})
             return
-        if not want_result:
+        if sub == "/events":
+            query = parse_qs(parsed.query)
+            try:
+                since = int(query.get("since", ["0"])[0])
+            except ValueError:
+                self._send(400, {"error": "since must be an integer"})
+                return
+            self._stream_events(job_id, since)
+            return
+        if not sub:
             self._send(200, record.to_status_dict())
             return
         if record.status in ("queued", "running"):
@@ -95,7 +160,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(200, record.to_result_dict())
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        daemon = self.server.daemon  # type: ignore[attr-defined]
+        daemon = self.daemon
         if self.path != "/jobs":
             self._send(404, {"error": f"no such route: {self.path}"})
             return
@@ -105,7 +170,10 @@ class _Handler(BaseHTTPRequestHandler):
             kind = payload.get("kind")
             if not isinstance(kind, str):
                 raise ConfigurationError("submission needs a 'kind' string")
-            record = daemon.scheduler.submit(kind, payload.get("params"))
+            params = dict(payload.get("params") or {})
+            if "priority" in payload:
+                params.setdefault("priority", payload["priority"])
+            record = daemon.scheduler.submit(kind, params)
         except SubmissionRejected as exc:
             self._send(
                 503,
@@ -121,6 +189,10 @@ class _Handler(BaseHTTPRequestHandler):
                  "cached": record.cached},
             )
 
+    @property
+    def daemon(self) -> "ServeDaemon":
+        return self.server.daemon  # type: ignore[attr-defined]
+
 
 class ServeDaemon:
     """Journal + cache + breaker + scheduler + HTTP server, assembled.
@@ -128,7 +200,10 @@ class ServeDaemon:
     ``port=0`` binds an ephemeral port (read it back from ``.port``
     after :meth:`start`). The daemon is restart-transparent: point a
     new instance at the same journal and it resumes where the old one
-    — cleanly stopped or SIGKILLed — left off.
+    — cleanly stopped or SIGKILLed — left off. ``workers`` jobs run
+    simultaneously over the shared ``pool_jobs`` process-slot budget;
+    ``compact_bytes`` arms size-triggered journal compaction (clean
+    shutdown always compacts).
     """
 
     def __init__(
@@ -136,14 +211,19 @@ class ServeDaemon:
         journal_path,
         host: str = "127.0.0.1",
         port: int = 0,
+        workers: int = 1,
         pool_jobs: int = 2,
         cell_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         breaker_config: Optional[BreakerConfig] = None,
+        compact_bytes: int = 0,
+        aging_s: float = 30.0,
     ) -> None:
         self.metrics = MetricsRegistry(enabled=True, clock=time.monotonic)
-        recovered = rebuild(read_events(journal_path))
-        self.journal = Journal(journal_path)
+        events = read_events(journal_path)
+        recovered = rebuild(events)
+        self.corrupt_lines = events.corrupt_lines
+        self.journal = Journal(journal_path, compact_bytes=compact_bytes)
         self.cache = ResultCache(self.metrics)
         self.breaker = CircuitBreaker(breaker_config, metrics=self.metrics)
         self.scheduler = JobScheduler(
@@ -151,15 +231,21 @@ class ServeDaemon:
             cache=self.cache,
             breaker=self.breaker,
             metrics=self.metrics,
+            workers=workers,
             pool_jobs=pool_jobs,
             cell_timeout=cell_timeout,
             retry=retry,
+            aging_s=aging_s,
         )
         self.scheduler.recover(recovered)
         self.journal.append(
             "daemon_started",
             recovered_jobs=len(recovered.pending),
             recovered_results=len(recovered.results),
+            corrupt_lines=self.corrupt_lines,
+        )
+        self.metrics.gauge_set(
+            "serve.journal.corrupt_lines", float(self.corrupt_lines)
         )
         self.recovered = recovered
         self._server = ThreadingHTTPServer((host, port), _Handler)
@@ -170,7 +256,7 @@ class ServeDaemon:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start the worker; the HTTP loop still needs serve_forever()
+        """Start the workers; the HTTP loop still needs serve_forever()
         (or use start_in_thread() for in-process embedding)."""
         self.scheduler.start()
 
@@ -188,12 +274,17 @@ class ServeDaemon:
         self._server.serve_forever(poll_interval=0.2)
 
     def stop(self) -> None:
-        """Graceful shutdown: journal the in-flight job for resumption,
-        mark the stop, flush and close the journal, close the socket."""
+        """Graceful shutdown: journal the in-flight jobs for resumption,
+        compact the journal into a snapshot, append the clean-stop
+        marker, flush and close the journal, close the socket."""
         if self._stopped:
             return
         self._stopped = True
         self.scheduler.stop()
+        try:
+            self.journal.compact()
+        except Exception:  # pragma: no cover - compaction must not
+            pass  # block shutdown; the uncompacted journal replays fine
         self.journal.append("daemon_stopped", clean=True)
         self.journal.close()
         try:
@@ -210,6 +301,12 @@ class ServeDaemon:
             "metrics": self.metrics.snapshot(),
             "queue_depth": overview["queue_depth"],
             "running": overview["running"],
+            "workers": overview["workers"],
             "breaker": overview["breaker"],
             "cache": overview["cache"],
+            "journal": {
+                "corrupt_lines": self.corrupt_lines,
+                "size_bytes": self.journal.size_bytes(),
+                "compactions": self.journal.compactions,
+            },
         }

@@ -89,10 +89,18 @@ class JobSpec:
     Build through :meth:`normalize` so that two submissions meaning the
     same run always carry the same parameters — and therefore the same
     digest.
+
+    ``priority`` is scheduling metadata, **not** part of the content
+    address: it biases which queued job a free worker picks (higher
+    first, with waiting jobs aging upward so nothing starves) but
+    cannot change the job's bytes, so two submissions differing only in
+    priority still share one digest, one cache entry, and one coalesced
+    execution.
     """
 
     kind: str
     params: dict
+    priority: int = 0
 
     @classmethod
     def normalize(cls, kind: str, params: dict | None = None) -> "JobSpec":
@@ -103,6 +111,9 @@ class JobSpec:
             )
         defaults = _PARAM_DEFAULTS[kind]
         params = dict(params or {})
+        # scheduling metadata rides alongside the content parameters in
+        # a raw submission but is split off before digesting
+        priority = int(params.pop("priority", 0))
         unknown = sorted(set(params) - set(defaults))
         if unknown:
             raise ConfigurationError(
@@ -120,7 +131,7 @@ class JobSpec:
             elif isinstance(default, int):
                 value = int(value)
             merged[name] = value
-        spec = cls(kind=kind, params=merged)
+        spec = cls(kind=kind, params=merged, priority=priority)
         spec._validate()
         return spec
 
@@ -150,11 +161,19 @@ class JobSpec:
                 raise ConfigurationError(f"{name} must be >= 1, got {p[name]}")
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "params": dict(self.params)}
+        d = {"kind": self.kind, "params": dict(self.params)}
+        if self.priority:
+            # only when set, so journals of priority-less jobs keep
+            # their pre-v2 byte layout
+            d["priority"] = self.priority
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "JobSpec":
-        return cls.normalize(d["kind"], d.get("params"))
+        params = dict(d.get("params") or {})
+        if d.get("priority"):
+            params["priority"] = d["priority"]
+        return cls.normalize(d["kind"], params)
 
     def describe(self) -> str:
         p = self.params
@@ -167,10 +186,13 @@ def job_digest(spec: JobSpec) -> str:
     sha256 over the canonical JSON of the normalized spec. The
     normalized parameters determine the workload structure token, the
     RunConfig, and the seed of every cell the job expands to, so equal
-    digests imply byte-identical results.
+    digests imply byte-identical results. Scheduling metadata
+    (``priority``) is deliberately excluded: it cannot change the
+    result bytes, so it must not split the cache address.
     """
     canonical = json.dumps(
-        spec.to_dict(), sort_keys=True, separators=(",", ":")
+        {"kind": spec.kind, "params": dict(spec.params)},
+        sort_keys=True, separators=(",", ":"),
     )
     return hashlib.sha256(canonical.encode()).hexdigest()
 

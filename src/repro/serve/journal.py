@@ -8,40 +8,114 @@ come back as cache entries, queued and in-flight jobs come back as
 queued (at-least-once execution — results are never duplicated because
 a ``job_finished`` line is the *only* thing that marks a job done).
 
+The writer is thread-safe: HTTP submit threads and N scheduler workers
+all append through one internal lock, so sequence numbers are strictly
+increasing and job ids minted by :meth:`Journal.reserve_id` never
+collide — neither between concurrent threads nor across restarts.
+
 Record schema (``schema`` = :data:`JOURNAL_SCHEMA_VERSION`)::
 
-    {"schema": 1, "seq": <int>, "event": <type>, ...fields}
+    {"schema": 2, "seq": <int>, "event": <type>, ...fields}
 
 Event types and their fields:
 
-- ``daemon_started``  — ``recovered_jobs``, ``recovered_results``
+- ``daemon_started``  — ``recovered_jobs``, ``recovered_results``,
+  ``corrupt_lines`` (torn/corrupt lines skipped during boot replay)
 - ``job_submitted``   — ``job_id``, ``digest``, ``spec`` (normalized)
 - ``job_started``     — ``job_id``
 - ``job_finished``    — ``job_id``, ``status`` (``done``/``partial``/
   ``failed``), ``result`` (cell values), ``errors`` (per-cell error
-  records), ``cached`` (true when served from the result cache)
+  records), ``cached`` (true when served from the result cache).
+  Cache-hit finishes **omit** ``result``/``errors`` entirely — the
+  payload is already durable under the job's digest, so re-appending
+  it on every hit would grow the journal by the full result size for
+  zero information; replay re-attaches it from the digest entry.
 - ``job_requeued``    — ``job_id`` (graceful shutdown marked it for
   resumption)
+- ``snapshot``        — ``jobs``, ``specs``, ``results``,
+  ``folded_events``: the complete fold of everything before it (schema
+  v2; see *Compaction*). The fold is deduplicated: done jobs' payloads
+  are stored once under their digest in ``results``, and each unique
+  spec is stored once under its digest in ``specs`` (a digest hit ten
+  times folds to ten ~100-byte job records sharing one spec entry);
+  replay re-attaches both.
 - ``daemon_stopped``  — ``clean`` (always true; a crash writes nothing)
 
 The reader is tolerant: a torn final line (the daemon died mid-write)
-or a corrupt line is skipped and counted, never fatal — losing one
-unacknowledged event is the crash semantics the at-least-once replay
-already absorbs.
+or a corrupt line is skipped **and counted** (``read_events`` returns
+a :class:`JournalEvents` list whose ``corrupt_lines`` attribute holds
+the skip count), never fatal — losing one unacknowledged event is the
+crash semantics the at-least-once replay already absorbs.
+
+Compaction
+----------
+Without compaction the JSONL grows forever: every finished job appends
+its full result payload, and long-lived daemons accrete unbounded
+history. :meth:`Journal.compact` folds the whole file into a single
+``snapshot`` record — the serialized :class:`RecoveredState` fold of
+every line so far — and atomically replaces the file with that one
+line; subsequent appends form the tail. Replaying ``snapshot + tail``
+rebuilds a state identical to replaying the uncompacted journal (the
+equivalence the tests pin down). Compaction runs when the live file
+exceeds ``compact_bytes`` (see :meth:`maybe_compact`) and on clean
+shutdown. Schema v1 journals (pre-snapshot) still replay unchanged; a
+v1 daemon refuses a v2 journal rather than misinterpret it.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
-__all__ = ["JOURNAL_SCHEMA_VERSION", "Journal", "RecoveredState", "rebuild"]
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "Journal",
+    "JournalEvents",
+    "RecoveredState",
+    "read_events",
+    "rebuild",
+]
 
 #: Bump when the record shape changes incompatibly.
-JOURNAL_SCHEMA_VERSION = 1
+#: v2 added ``snapshot`` records and payload-suppressed cache-hit
+#: ``job_finished`` lines; v1 journals replay unchanged.
+JOURNAL_SCHEMA_VERSION = 2
+
+
+class JournalEvents(list):
+    """The intact events of a journal, in append order.
+
+    A plain ``list`` of record dicts plus ``corrupt_lines``: how many
+    torn or otherwise unparseable lines the reader skipped. The count
+    is what the daemon reports in its ``daemon_started`` record and on
+    ``/metrics`` — silent skipping hid real corruption before.
+    """
+
+    def __init__(
+        self, events: Iterable[dict] = (), corrupt_lines: int = 0
+    ) -> None:
+        super().__init__(events)
+        self.corrupt_lines = corrupt_lines
+
+
+def _max_job_id(events: Iterable[dict]) -> int:
+    """The highest ``j<N>``-style job id number mentioned anywhere —
+    including inside snapshot records — used to seed the id counter."""
+    best = 0
+    for record in events:
+        ids = [record["job_id"]] if "job_id" in record else []
+        if record.get("event") == "snapshot":
+            ids.extend(record.get("jobs", {}))
+        for job_id in ids:
+            if isinstance(job_id, str) and job_id[:1] == "j":
+                digits = job_id[1:]
+                if digits.isdigit():
+                    best = max(best, int(digits))
+    return best
 
 
 class Journal:
@@ -49,27 +123,63 @@ class Journal:
 
     ``append`` assigns the next sequence number, writes the line, and
     flushes + fsyncs before returning — the journal is the source of
-    truth, so nothing may be acknowledged before it is durable.
+    truth, so nothing may be acknowledged before it is durable. All
+    mutation (``append``, ``reserve_id``, ``compact``) is serialized
+    on one internal lock, so concurrent submit/finish paths can never
+    duplicate a seq or a job id.
+
+    ``compact_bytes`` arms size-triggered compaction: when the file
+    grows past that many bytes, :meth:`maybe_compact` folds it into a
+    snapshot. ``0`` (the default) disables the size trigger; explicit
+    :meth:`compact` calls (clean shutdown) work regardless.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self, path: Union[str, Path], compact_bytes: int = 0
+    ) -> None:
         self.path = Path(path)
+        self.compact_bytes = int(compact_bytes)
+        self.compactions = 0
+        self._lock = threading.Lock()
         existing = read_events(self.path) if self.path.exists() else []
         self._seq = max((e["seq"] for e in existing), default=0)
+        #: id counter for :meth:`reserve_id`, seeded above both the seq
+        #: high-water mark and every job id already on disk, so a
+        #: restarted daemon can never re-mint an id — not even one that
+        #: landed with a smaller seq than its own number because its
+        #: submit thread raced others to the journal before a crash
+        self._next_id = max(self._seq, _max_job_id(existing))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: Optional[object] = open(self.path, "a", encoding="utf-8")
 
     def next_seq(self) -> int:
         """The sequence number the next :meth:`append` will assign.
 
-        Used to mint job ids (``j<seq>``) that match their
-        ``job_submitted`` record and stay unique across restarts —
-        replay restores the counter from the highest seq on disk.
+        Diagnostic only — under concurrency another thread may append
+        first. Use :meth:`reserve_id` to mint job ids.
         """
-        return self._seq + 1
+        with self._lock:
+            return self._seq + 1
+
+    def reserve_id(self) -> str:
+        """Atomically mint a unique job id (``j<counter>``).
+
+        Safe to call from any thread: the counter shares the journal
+        lock, starts above every seq already on disk, and only grows —
+        so ids are unique across concurrent submissions *and* across
+        daemon restarts. (Pre-v2 code minted ids from ``next_seq()``,
+        which two submit threads could read identically.)
+        """
+        with self._lock:
+            self._next_id += 1
+            return f"j{self._next_id:06d}"
 
     def append(self, event: str, **fields) -> dict:
         """Durably append one event; returns the full record."""
+        with self._lock:
+            return self._append_locked(event, **fields)
+
+    def _append_locked(self, event: str, **fields) -> dict:
         if self._fh is None:
             raise ValueError("journal is closed")
         self._seq += 1
@@ -84,10 +194,89 @@ class Journal:
         os.fsync(self._fh.fileno())
         return record
 
-    def close(self) -> None:
-        if self._fh is not None:
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Current on-disk size of the journal file."""
+        try:
+            return self.path.stat().st_size
+        except OSError:  # pragma: no cover - racing an external unlink
+            return 0
+
+    def maybe_compact(self) -> bool:
+        """Compact when the file has outgrown ``compact_bytes``.
+
+        Returns True when a snapshot was written. A ``compact_bytes``
+        of 0 disables the size trigger entirely.
+        """
+        if self.compact_bytes <= 0:
+            return False
+        if self.size_bytes() <= self.compact_bytes:
+            return False
+        self.compact()
+        return True
+
+    def compact(self) -> dict:
+        """Fold the whole journal into one ``snapshot`` record.
+
+        Reads every intact line, rebuilds the :class:`RecoveredState`
+        fold, writes a single snapshot record carrying that state to a
+        temporary file, fsyncs it, and atomically replaces the journal
+        — a crash at any point leaves either the old file or the new
+        one, both of which replay to the same state. Sequence numbers
+        continue past the snapshot's, so the tail appended afterwards
+        stays ordered. Returns the snapshot record.
+        """
+        with self._lock:
+            if self._fh is None:
+                raise ValueError("journal is closed")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            events = read_events(self.path)
+            state = rebuild(events)
+            # dedup the fold: a done job's payload already lives under
+            # its digest in ``results``, and every submission of the
+            # same digest (the original plus all its cache hits)
+            # carries one identical spec — store each exactly once
+            # instead of once per job record
+            specs: dict[str, dict] = {}
+            jobs = {}
+            for job_id, job in state.jobs.items():
+                job = dict(job)
+                digest = job.get("digest")
+                if digest and "spec" in job:
+                    specs.setdefault(digest, job.pop("spec"))
+                if job.get("status") == "done" and digest in state.results:
+                    job.pop("result", None)
+                    job.pop("errors", None)
+                jobs[job_id] = job
+            self._seq += 1
+            record = {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "seq": self._seq,
+                "event": "snapshot",
+                "jobs": jobs,
+                "specs": specs,
+                "results": state.results,
+                "folded_events": len(events),
+            }
+            tmp = self.path.with_name(self.path.name + ".compact")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             self._fh.close()
-            self._fh = None
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self.compactions += 1
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "Journal":
         return self
@@ -96,14 +285,15 @@ class Journal:
         self.close()
 
 
-def read_events(path: Union[str, Path]) -> list[dict]:
+def read_events(path: Union[str, Path]) -> JournalEvents:
     """All intact events in the journal, in append order.
 
-    Torn or corrupt lines are skipped (see the module docstring);
-    events from a future schema raise so an old daemon never
-    misinterprets a new journal.
+    Torn or corrupt lines are skipped and counted (the returned
+    :class:`JournalEvents` carries ``corrupt_lines``); events from a
+    future schema raise so an old daemon never misinterprets a new
+    journal.
     """
-    events: list[dict] = []
+    events = JournalEvents()
     path = Path(path)
     if not path.exists():
         return events
@@ -113,8 +303,10 @@ def read_events(path: Union[str, Path]) -> list[dict]:
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
-            continue  # torn write from a crash mid-append
+            events.corrupt_lines += 1  # torn write from a crash mid-append
+            continue
         if not isinstance(record, dict) or "event" not in record:
+            events.corrupt_lines += 1
             continue
         schema = record.get("schema", 0)
         if schema > JOURNAL_SCHEMA_VERSION:
@@ -153,13 +345,34 @@ def rebuild(events: list[dict]) -> RecoveredState:
     final — replay never re-runs it, and its digest entry repopulates
     the content-addressed cache (only ``done`` jobs: a ``partial`` or
     ``failed`` payload must not satisfy future submissions that might
-    succeed).
+    succeed). A ``snapshot`` record replaces the running fold wholesale
+    — it *is* the fold of everything before it — and the tail after it
+    folds on top as usual.
     """
     state = RecoveredState()
     for record in events:
         event = record["event"]
         job_id = record.get("job_id")
-        if event == "job_submitted":
+        if event == "snapshot":
+            state.results = {
+                k: dict(v) for k, v in record["results"].items()
+            }
+            specs = record.get("specs", {})
+            state.jobs = {}
+            for k, v in record["jobs"].items():
+                job = dict(v)
+                digest = job.get("digest")
+                if "spec" not in job and digest in specs:
+                    job["spec"] = dict(specs[digest])
+                if job.get("status") == "done" and "result" not in job:
+                    # payload stripped at snapshot time; re-attach it
+                    # from the digest entry (exactly the cache-hit
+                    # suppression rule, applied to the fold)
+                    payload = state.results.get(digest, {})
+                    job["result"] = payload.get("result", {})
+                    job["errors"] = payload.get("errors", {})
+                state.jobs[k] = job
+        elif event == "job_submitted":
             state.jobs[job_id] = {
                 "job_id": job_id,
                 "spec": record["spec"],
@@ -177,9 +390,17 @@ def rebuild(events: list[dict]) -> RecoveredState:
             if job is None:
                 continue
             job["status"] = record["status"]
-            job["result"] = record.get("result", {})
-            job["errors"] = record.get("errors", {})
             job["cached"] = bool(record.get("cached", False))
+            if "result" in record or not job["cached"]:
+                job["result"] = record.get("result", {})
+                job["errors"] = record.get("errors", {})
+            else:
+                # v2 cache-hit finish: the payload was suppressed at
+                # write time; re-attach it from the digest entry the
+                # original (non-cached) finish populated
+                payload = state.results.get(job["digest"], {})
+                job["result"] = payload.get("result", {})
+                job["errors"] = payload.get("errors", {})
             if record["status"] == "done":
                 state.results[job["digest"]] = {
                     "result": job["result"],

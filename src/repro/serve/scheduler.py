@@ -1,11 +1,21 @@
-"""Admission queue and worker loop: where jobs meet the executor pool.
+"""Admission queue and worker pool: where jobs meet the executor pool.
 
 The scheduler is the control plane of the service — the same
 listener/worker split TaskTorrent and DuctTeip use to keep admission
-responsive while a pool churns: HTTP threads only ever touch the
-in-memory job table under a lock (microseconds), while one worker
-thread drains the queue and runs each job's cells on the self-healing
-:class:`~repro.experiments.sweep.SweepExecutor`.
+responsive while executors churn: HTTP threads only ever touch the
+in-memory job table under a lock (microseconds), while ``workers``
+worker threads drain the queue *concurrently*, each running its job's
+cells on the self-healing
+:class:`~repro.experiments.sweep.SweepExecutor`. The process-slot
+budget (``pool_jobs``) is shared: each running job carves a fair share
+of the slots, so N in-flight jobs never oversubscribe the host by more
+than one slot per job (the minimum that keeps every job progressing).
+
+Admission is FIFO with aging priorities: a free worker picks the
+queued job with the highest *effective* priority — the submitted
+``priority`` plus one point per ``aging_s`` seconds spent waiting — so
+an urgent small job overtakes a huge sweep, but a low-priority job
+left waiting ages its way to the front instead of starving.
 
 Robustness invariants:
 
@@ -17,24 +27,32 @@ Robustness invariants:
 - submissions pass the circuit breaker, which sheds load with a
   retry-after hint when the queue saturates or jobs keep failing;
 - a submission whose digest matches a job already queued or running is
-  coalesced onto that job instead of duplicating the work.
+  coalesced onto that job instead of duplicating the work (a higher
+  resubmitted priority promotes the pending job);
+- per-cell completion is reported through the executor's structured
+  ``on_cell_done`` callback — never by parsing progress lines — and
+  recorded as a per-job event stream that the daemon's
+  ``GET /jobs/<id>/events`` long-poll serves incrementally.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.experiments.sweep import RetryPolicy, SweepExecutor
+from repro.experiments.sweep import RetryPolicy, SweepCell, SweepExecutor
 from repro.obs.registry import NULL_METRICS, MetricsRegistry
 from repro.serve.breaker import Admission, CircuitBreaker
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpec, build_cells, job_digest, serialize_results
 from repro.serve.journal import Journal, RecoveredState
-from repro.util.errors import ReproError
+from repro.util.errors import ConfigurationError, ReproError
 
 __all__ = ["JobRecord", "JobScheduler", "SubmissionRejected"]
+
+_FINAL_STATES = ("done", "partial", "failed")
 
 
 class SubmissionRejected(ReproError):
@@ -47,6 +65,38 @@ class SubmissionRejected(ReproError):
         )
         self.reason = admission.reason
         self.retry_after_s = admission.retry_after_s
+
+
+class _SlotBudget:
+    """Carves the shared ``pool_jobs`` process slots among running jobs.
+
+    A job asks for a share and gets ``max(1, min(want, free))`` — the
+    floor of one guarantees progress for every admitted job even when
+    the budget is exhausted (a bounded oversubscription of at most one
+    process per extra job, which the OS scheduler absorbs), while the
+    ``free`` cap keeps concurrent jobs from stacking full-size pools.
+    """
+
+    def __init__(self, total: int) -> None:
+        self.total = max(1, int(total))
+        self._allocated = 0
+        self._lock = threading.Lock()
+
+    def acquire(self, want: int) -> int:
+        with self._lock:
+            free = max(self.total - self._allocated, 0)
+            grant = max(1, min(max(want, 1), free))
+            self._allocated += grant
+            return grant
+
+    def release(self, granted: int) -> None:
+        with self._lock:
+            self._allocated -= granted
+
+    @property
+    def allocated(self) -> int:
+        with self._lock:
+            return self._allocated
 
 
 @dataclass
@@ -62,6 +112,18 @@ class JobRecord:
     cells_done: int = 0
     result: dict = field(default_factory=dict)
     errors: dict = field(default_factory=dict)
+    #: scheduling metadata: submitted priority, aged while queued
+    priority: int = 0
+    enqueued_at: float = 0.0
+    enqueue_seq: int = 0
+    #: structured progress stream served by ``GET /jobs/<id>/events``
+    events: list = field(default_factory=list)
+
+    def effective_priority(self, now: float, aging_s: float) -> float:
+        """Submitted priority plus one point per ``aging_s`` waited."""
+        if aging_s <= 0:
+            return float(self.priority)
+        return self.priority + max(now - self.enqueued_at, 0.0) / aging_s
 
     def to_status_dict(self) -> dict:
         d = {
@@ -71,6 +133,8 @@ class JobRecord:
             "digest": self.digest,
             "cached": self.cached,
         }
+        if self.priority:
+            d["priority"] = self.priority
         if self.cells_total:
             d["cells_total"] = self.cells_total
             d["cells_done"] = self.cells_done
@@ -89,7 +153,8 @@ class JobRecord:
 
 
 class JobScheduler:
-    """Job table + FIFO queue + one worker thread over the executor."""
+    """Job table + aged-priority queue + N worker threads over the
+    shared executor budget."""
 
     def __init__(
         self,
@@ -97,50 +162,64 @@ class JobScheduler:
         cache: Optional[ResultCache] = None,
         breaker: Optional[CircuitBreaker] = None,
         metrics: Optional[MetricsRegistry] = None,
+        workers: int = 1,
         pool_jobs: int = 2,
         cell_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
+        aging_s: float = 30.0,
     ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.journal = journal
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.cache = cache if cache is not None else ResultCache(self.metrics)
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             metrics=self.metrics
         )
+        self.workers = workers
         self.pool_jobs = pool_jobs
         self.cell_timeout = cell_timeout
         self.retry = retry if retry is not None else RetryPolicy()
+        self.aging_s = aging_s
         self.jobs: dict[str, JobRecord] = {}
         self._queue: list[str] = []
         self._pending_by_digest: dict[str, str] = {}
-        self._running_id: Optional[str] = None
+        self._running: set[str] = set()
+        self._budget = _SlotBudget(pool_jobs)
+        self._enqueue_seq = 0
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
+        #: notified on every per-job event append (long-poll waiters)
+        self._events_cond = threading.Condition(self._lock)
         self._stop = False
-        self._thread: Optional[threading.Thread] = None
+        self._threads: list[threading.Thread] = []
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self._thread = threading.Thread(
-            target=self._worker, name="repro-serve-worker", daemon=True
-        )
-        self._thread.start()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
 
     def stop(self) -> None:
-        """Graceful stop: mark the in-flight job for resumption.
+        """Graceful stop: mark every in-flight job for resumption.
 
-        The journal gets a ``job_requeued`` line for a job caught
-        mid-run, so the next boot re-executes it; queued jobs need no
+        The journal gets a ``job_requeued`` line for each job caught
+        mid-run, so the next boot re-executes them; queued jobs need no
         extra event (submitted-but-not-finished already replays as
         pending).
         """
         with self._wake:
             self._stop = True
-            if self._running_id is not None:
-                self.journal.append("job_requeued", job_id=self._running_id)
+            for job_id in sorted(self._running):
+                self.journal.append("job_requeued", job_id=job_id)
             self._wake.notify_all()
+            self._events_cond.notify_all()
 
     def recover(self, state: RecoveredState) -> None:
         """Adopt a journal replay: results to the cache, pending to the
@@ -158,11 +237,12 @@ class JobScheduler:
                     cached=bool(job.get("cached", False)),
                     result=job.get("result", {}),
                     errors=job.get("errors", {}),
+                    priority=spec.priority,
                 )
                 self.jobs[job_id] = record
                 if record.status in ("queued", "running"):
                     record.status = "queued"
-                    self._queue.append(job_id)
+                    self._enqueue(record)
                     self._pending_by_digest.setdefault(record.digest, job_id)
             self._gauges()
             self._wake.notify_all()
@@ -180,7 +260,7 @@ class JobScheduler:
             self.metrics.inc("serve.jobs.submitted", kind=kind)
             cached = self.cache.get(digest)
             if cached is not None:
-                job_id = f"j{self.journal.next_seq():06d}"
+                job_id = self.journal.reserve_id()
                 record = JobRecord(
                     job_id=job_id,
                     spec=spec,
@@ -189,34 +269,48 @@ class JobScheduler:
                     cached=True,
                     result=cached.get("result", {}),
                     errors=cached.get("errors", {}),
+                    priority=spec.priority,
                 )
                 self.jobs[job_id] = record
                 self.journal.append(
                     "job_submitted", job_id=job_id, digest=digest,
                     spec=spec.to_dict(),
                 )
+                # the payload is already durable under this digest —
+                # re-appending it would grow the journal by the full
+                # result size on every hit for zero information
                 self.journal.append(
-                    "job_finished", job_id=job_id, status="done",
-                    result=record.result, errors=record.errors, cached=True,
+                    "job_finished", job_id=job_id, status="done", cached=True,
                 )
                 self.metrics.inc("serve.jobs.completed", status="done")
+                self._push_event(
+                    record,
+                    {"type": "finished", "status": "done", "cached": True},
+                )
+                # hits grow the journal without ever reaching _finish,
+                # so the size trigger must ride this append too
+                self.journal.maybe_compact()
                 return record
             pending = self._pending_by_digest.get(digest)
             if pending is not None:
-                return self.jobs[pending]  # coalesce identical work
+                record = self.jobs[pending]  # coalesce identical work
+                if spec.priority > record.priority:
+                    record.priority = spec.priority  # promote, never demote
+                return record
             admission = self.breaker.admit(self._depth())
             if not admission.allowed:
                 raise SubmissionRejected(admission)
-            job_id = f"j{self.journal.next_seq():06d}"
+            job_id = self.journal.reserve_id()
             record = JobRecord(
-                job_id=job_id, spec=spec, digest=digest, status="queued"
+                job_id=job_id, spec=spec, digest=digest, status="queued",
+                priority=spec.priority,
             )
             self.jobs[job_id] = record
             self.journal.append(
                 "job_submitted", job_id=job_id, digest=digest,
                 spec=spec.to_dict(),
             )
-            self._queue.append(job_id)
+            self._enqueue(record)
             self._pending_by_digest[digest] = job_id
             self._gauges()
             self._wake.notify_all()
@@ -230,28 +324,121 @@ class JobScheduler:
         with self._lock:
             return {
                 "queue_depth": self._depth(),
-                "running": self._running_id,
+                "running": sorted(self._running),
+                "workers": self.workers,
                 "jobs": [r.to_status_dict() for r in self.jobs.values()],
                 "breaker": self.breaker.to_dict(),
                 "cache": self.cache.stats(),
             }
 
     # ------------------------------------------------------------------
+    # per-job event stream (long-polled by the daemon's /events route)
+    # ------------------------------------------------------------------
+    def _push_event(self, record: JobRecord, event: dict) -> None:
+        with self._events_cond:
+            event = {"seq": len(record.events) + 1, **event}
+            record.events.append(event)
+            self._events_cond.notify_all()
+
+    def events_since(
+        self, job_id: str, cursor: int, wait_s: float = 0.0
+    ) -> tuple[list[dict], bool]:
+        """Events past ``cursor`` for one job, long-poll style.
+
+        Blocks up to ``wait_s`` for new events when none are pending.
+        Returns ``(events, final)`` — ``final`` is True once the job
+        has reached a terminal state *and* the caller has seen every
+        event, i.e. the stream is complete and the connection can
+        close. Unknown jobs return ``([], True)``.
+        """
+        deadline = time.monotonic() + max(wait_s, 0.0)
+        with self._events_cond:
+            while True:
+                record = self.jobs.get(job_id)
+                if record is None:
+                    return [], True
+                fresh = [dict(e) for e in record.events[cursor:]]
+                final = record.status in _FINAL_STATES and not fresh
+                if fresh or final or self._stop:
+                    return fresh, final or self._stop
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], False
+                self._events_cond.wait(remaining)
+
+    # ------------------------------------------------------------------
     # worker loop
     # ------------------------------------------------------------------
+    def _enqueue(self, record: JobRecord) -> None:
+        self._enqueue_seq += 1
+        record.enqueue_seq = self._enqueue_seq
+        record.enqueued_at = time.monotonic()
+        self._queue.append(record.job_id)
+
+    def _pick_locked(self) -> str:
+        """Pop the queued job with the highest effective priority.
+
+        Ties (equal submitted priority) resolve FIFO because the
+        longer-waiting job has aged strictly more; distinct priorities
+        resolve by aged priority, so a big sweep cannot indefinitely
+        shadow a later small job and vice versa.
+        """
+        now = time.monotonic()
+        best = max(
+            self._queue,
+            key=lambda job_id: (
+                self.jobs[job_id].effective_priority(now, self.aging_s),
+                -self.jobs[job_id].enqueue_seq,
+            ),
+        )
+        self._queue.remove(best)
+        return best
+
     def _depth(self) -> int:
-        return len(self._queue) + (1 if self._running_id is not None else 0)
+        return len(self._queue) + len(self._running)
 
     def _gauges(self) -> None:
         self.metrics.gauge_set("serve.queue.depth", float(len(self._queue)))
         self.metrics.gauge_set(
-            "serve.jobs.inflight", 1.0 if self._running_id else 0.0
+            "serve.jobs.inflight", float(len(self._running))
         )
 
-    def _on_progress(self, record: JobRecord, line: str) -> None:
-        if " done in " in line:
-            with self._lock:
-                record.cells_done += 1
+    def _on_cell_done(
+        self, record: JobRecord, cell: SweepCell, ok: bool, wall: float
+    ) -> None:
+        """Structured per-cell completion from the executor — exactly
+        once per cell, retries and progress-format changes immaterial."""
+        with self._lock:
+            record.cells_done += 1
+            self._push_event(
+                record,
+                {
+                    "type": "cell",
+                    "cell": cell.label(),
+                    "ok": ok,
+                    "wall_s": round(wall, 6),
+                    "cells_done": record.cells_done,
+                    "cells_total": record.cells_total,
+                },
+            )
+
+    def _journal_or_abandon(self, event: str, **fields) -> bool:
+        """Append unless a concurrent shutdown closed the journal.
+
+        Graceful stop journals ``job_requeued`` for every in-flight job
+        and may close the journal while a worker is still finishing; the
+        worker's late transition is abandoned (False) instead of
+        crashing the thread — replay re-runs the job, which the
+        at-least-once semantics already absorb. A closed journal
+        *outside* shutdown is still a hard error.
+        """
+        try:
+            self.journal.append(event, **fields)
+            return True
+        except ValueError:
+            if self._stop:
+                return False
+            raise
 
     def _worker(self) -> None:
         while True:
@@ -260,12 +447,14 @@ class JobScheduler:
                     self._wake.wait()
                 if self._stop:
                     return
-                job_id = self._queue.pop(0)
+                job_id = self._pick_locked()
                 record = self.jobs[job_id]
                 record.status = "running"
-                self._running_id = job_id
+                self._running.add(job_id)
                 self._gauges()
-            self.journal.append("job_started", job_id=job_id)
+            if not self._journal_or_abandon("job_started", job_id=job_id):
+                return
+            self._push_event(record, {"type": "started"})
             try:
                 self._execute(record)
             except Exception as exc:  # noqa: BLE001 - the loop must live
@@ -276,32 +465,56 @@ class JobScheduler:
                 )
             finally:
                 with self._wake:
-                    self._running_id = None
+                    self._running.discard(job_id)
                     self._pending_by_digest.pop(record.digest, None)
                     self._gauges()
+
+    def _slot_request(self) -> int:
+        """How many process slots this job should ask the budget for:
+        the full pool when it is alone, else a 1/workers fair share."""
+        with self._lock:
+            others = (len(self._running) - 1) + len(self._queue)
+        if others <= 0:
+            return self.pool_jobs
+        return max(1, self.pool_jobs // self.workers)
 
     def _execute(self, record: JobRecord) -> None:
         cells = build_cells(record.spec)
         with self._lock:
             record.cells_total = len(cells)
             record.cells_done = 0
-        executor = SweepExecutor(
-            jobs=min(self.pool_jobs, max(len(cells), 1)),
-            progress=lambda line: self._on_progress(record, line),
-            label=record.job_id,
-            timeout=self.cell_timeout,
-            retry=self.retry,
-            on_error="record",
-        )
-        results, stats = executor.run(cells)
+        slots = self._budget.acquire(self._slot_request())
+        try:
+            executor = SweepExecutor(
+                jobs=min(slots, max(len(cells), 1)),
+                label=record.job_id,
+                timeout=self.cell_timeout,
+                retry=self.retry,
+                on_error="record",
+                on_cell_done=lambda cell, ok, wall: self._on_cell_done(
+                    record, cell, ok, wall
+                ),
+            )
+            results, stats = executor.run(cells)
+        finally:
+            self._budget.release(slots)
         values, errors = serialize_results(cells, results)
-        if stats.retries:
-            self.metrics.inc("serve.cells.retried", value=float(stats.retries))
-        if stats.pool_kills:
-            self.metrics.inc("serve.pool.kills", value=float(stats.pool_kills))
-        poisoned = sum(1 for e in errors.values() if e["kind"] == "poisoned")
-        if poisoned:
-            self.metrics.inc("serve.cells.poisoned", value=float(poisoned))
+        with self._lock:
+            if stats.retries:
+                self.metrics.inc(
+                    "serve.cells.retried", value=float(stats.retries)
+                )
+            if stats.pool_kills:
+                self.metrics.inc(
+                    "serve.pool.kills", value=float(stats.pool_kills)
+                )
+            poisoned = sum(
+                1 for e in errors.values() if e["kind"] == "poisoned"
+            )
+            if poisoned:
+                self.metrics.inc(
+                    "serve.cells.poisoned", value=float(poisoned)
+                )
         if not errors:
             status = "done"
         elif values:
@@ -313,10 +526,11 @@ class JobScheduler:
     def _finish(
         self, record: JobRecord, status: str, values: dict, errors: dict
     ) -> None:
-        self.journal.append(
+        if not self._journal_or_abandon(
             "job_finished", job_id=record.job_id, status=status,
             result=values, errors=errors, cached=False,
-        )
+        ):
+            return  # shutdown already requeued this job for the next boot
         with self._lock:
             record.status = status
             record.result = values
@@ -327,3 +541,13 @@ class JobScheduler:
             else:
                 self.breaker.record_failure()
             self.metrics.inc("serve.jobs.completed", status=status)
+            self._push_event(
+                record, {"type": "finished", "status": status, "cached": False}
+            )
+        # size-triggered compaction rides on the append that grew the
+        # file; it folds finished payloads into one snapshot line
+        try:
+            self.journal.maybe_compact()
+        except ValueError:
+            if not self._stop:  # closed journal is only OK mid-shutdown
+                raise

@@ -210,3 +210,216 @@ class TestRestartRecovery:
             assert second["job_id"] != first["job_id"]
         finally:
             daemon2.stop()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_crash_with_two_jobs_in_flight_recovers_both(self, tmp_path):
+        """workers=2: both jobs are mid-run when the daemon "dies";
+        the reboot re-runs both, finishing each exactly once."""
+        daemon, client = _daemon(tmp_path, workers=2)
+        a = client.submit("point", {"seed": 501})  # parked on the gate
+        b = client.submit("point", {"seed": 502})  # parked on the gate
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            started = [
+                e["job_id"]
+                for e in read_events(tmp_path / "journal.jsonl")
+                if e["event"] == "job_started"
+            ]
+            if len(started) == 2:
+                break
+            time.sleep(0.01)
+        assert sorted(started) == sorted([a["job_id"], b["job_id"]])
+        daemon._server.shutdown()
+        daemon._server.server_close()
+        daemon.journal.close()  # simulated SIGKILL: nothing more lands
+
+        daemon2, client2 = _daemon(tmp_path, workers=2)
+        try:
+            assert len(daemon2.recovered.pending) == 2
+            _GATE.set()
+            for job_id in (a["job_id"], b["job_id"]):
+                assert client2.wait(job_id, timeout_s=10.0)["status"] == "done"
+            finished = [
+                e for e in read_events(tmp_path / "journal.jsonl")
+                if e["event"] == "job_finished"
+            ]
+            assert sorted(e["job_id"] for e in finished) == sorted(
+                [a["job_id"], b["job_id"]]
+            )
+        finally:
+            daemon2.stop()
+
+
+class TestConcurrencyOverHTTP:
+    def test_two_jobs_observably_running(self, tmp_path):
+        daemon, client = _daemon(tmp_path, workers=2)
+        try:
+            a = client.submit("point", {"seed": 501})
+            b = client.submit("point", {"seed": 502})
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                running = client.overview()["running"]
+                if len(running) == 2:
+                    break
+                time.sleep(0.01)
+            assert sorted(running) == sorted([a["job_id"], b["job_id"]])
+            assert client.metrics()["workers"] == 2
+            _GATE.set()
+            assert client.wait(a["job_id"])["status"] == "done"
+            assert client.wait(b["job_id"])["status"] == "done"
+        finally:
+            _GATE.set()
+            daemon.stop()
+
+    def test_priority_rides_the_submission(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            client.submit("point", {"seed": 501})  # park the worker
+            sub = client.submit("point", {"seed": 2, "priority": 3})
+            assert client.status(sub["job_id"])["priority"] == 3
+            _GATE.set()
+            assert client.wait(sub["job_id"])["status"] == "done"
+        finally:
+            _GATE.set()
+            daemon.stop()
+
+
+class TestEventStream:
+    def test_stream_carries_started_cells_finished(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 3})
+            events = list(client.events(sub["job_id"]))
+            assert events[0]["type"] == "started"
+            assert events[-1]["type"] == "finished"
+            cells = [e for e in events if e["type"] == "cell"]
+            assert len(cells) == 3
+            assert cells[-1]["cells_done"] == cells[-1]["cells_total"] == 3
+            assert all(c["ok"] for c in cells)
+        finally:
+            daemon.stop()
+
+    def test_stream_resumes_after_since(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 2})
+            first = list(client.events(sub["job_id"]))
+            # a reconnecting client never re-reads what it saw
+            assert list(client.events(sub["job_id"], since=len(first))) == []
+            resumed = list(client.events(sub["job_id"], since=1))
+            assert resumed == first[1:]
+        finally:
+            daemon.stop()
+
+    def test_stream_follows_a_live_job(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 501})  # parked
+            seen = []
+
+            def follow():
+                seen.extend(client.events(sub["job_id"]))
+
+            reader = threading.Thread(target=follow)
+            reader.start()
+            time.sleep(0.1)  # the stream is attached before any finish
+            _GATE.set()
+            reader.join(timeout=10)
+            assert not reader.is_alive()
+            assert seen[-1]["type"] == "finished"
+        finally:
+            _GATE.set()
+            daemon.stop()
+
+    def test_watch_returns_the_result(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 3})
+            body = client.watch(sub["job_id"], timeout_s=10.0)
+            assert body["status"] == "done"
+            assert body["result"]["c2"] == {"value": 2}
+        finally:
+            daemon.stop()
+
+    def test_bad_since_is_400_and_unknown_job_404(self, tmp_path):
+        daemon, client = _daemon(tmp_path)
+        try:
+            sub = client.submit("point", {"seed": 1})
+            client.wait(sub["job_id"])
+            with pytest.raises(ServiceError) as exc:
+                client._request(
+                    "GET", f"/jobs/{sub['job_id']}/events?since=abc"
+                )
+            assert exc.value.status == 400
+            with pytest.raises(ServiceError) as exc:
+                list(client.events("j999999"))
+            assert exc.value.status == 404
+        finally:
+            daemon.stop()
+
+
+class TestJournalHygiene:
+    def test_corrupt_lines_surface_in_boot_record_and_metrics(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("this line is not json\n")
+        daemon, client = _daemon(tmp_path)
+        try:
+            assert daemon.corrupt_lines == 1
+            boot = next(
+                e for e in read_events(path) if e["event"] == "daemon_started"
+            )
+            assert boot["corrupt_lines"] == 1
+            view = client.metrics()
+            assert view["journal"]["corrupt_lines"] == 1
+            assert view["journal"]["size_bytes"] > 0
+        finally:
+            daemon.stop()
+
+    def test_clean_stop_compacts_into_a_snapshot(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        daemon, client = _daemon(tmp_path)
+        sub = client.submit("point", {"seed": 2})
+        first = client.wait(sub["job_id"])
+        daemon.stop()
+        events = read_events(path)
+        # one snapshot folding the whole history, then the stop marker
+        assert [e["event"] for e in events] == ["snapshot", "daemon_stopped"]
+        assert events[-1]["clean"] is True
+
+        daemon2, client2 = _daemon(tmp_path)
+        try:
+            # the compacted journal serves identical status and result
+            assert client2.status(sub["job_id"])["status"] == "done"
+            assert client2.result(sub["job_id"])["result"] == first["result"]
+            again = client2.submit("point", {"seed": 2})
+            assert again["cached"]
+        finally:
+            daemon2.stop()
+
+    def test_size_trigger_shrinks_a_growing_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        daemon, client = _daemon(tmp_path, compact_bytes=2000)
+        try:
+            # cache-hit-heavy traffic is where journals actually
+            # balloon: every hit re-appends the full spec; the snapshot
+            # folds all those submissions onto one shared spec entry
+            sub = client.submit("point", {"seed": 8})
+            client.wait(sub["job_id"])
+            sizes = []
+            for _ in range(10):
+                hit = client.submit("point", {"seed": 8})
+                assert hit["cached"]
+                sizes.append(path.stat().st_size)
+            view = client.metrics()
+            assert view["journal"]["compactions"] >= 1
+            # an append-only file only ever grows; a shrink between
+            # measurements is the snapshot fold at work
+            assert any(b < a for a, b in zip(sizes, sizes[1:])), sizes
+            snapshots = [
+                e for e in read_events(path) if e["event"] == "snapshot"
+            ]
+            assert snapshots
+        finally:
+            daemon.stop()

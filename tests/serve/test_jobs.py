@@ -91,6 +91,35 @@ class TestDigest:
             assert len(digests) == 3
 
 
+class TestPriority:
+    def test_priority_is_split_off_the_params(self):
+        spec = JobSpec.normalize("point", {"seed": 2, "priority": 5})
+        assert spec.priority == 5
+        assert "priority" not in spec.params  # scheduling, not content
+
+    def test_priority_defaults_to_zero(self):
+        assert JobSpec.normalize("point").priority == 0
+
+    def test_priority_never_changes_the_digest(self):
+        plain = JobSpec.normalize("point", {"seed": 2})
+        hot = JobSpec.normalize("point", {"seed": 2, "priority": 9})
+        assert job_digest(plain) == job_digest(hot)
+
+    def test_priority_roundtrips_through_dict(self):
+        hot = JobSpec.normalize("point", {"seed": 2, "priority": 3})
+        d = hot.to_dict()
+        assert d["priority"] == 3 and "priority" not in d["params"]
+        back = JobSpec.from_dict(d)
+        assert back == hot
+
+    def test_zero_priority_keeps_the_v1_dict_shape(self):
+        # journals written before priorities existed must replay, and
+        # priority-less jobs must keep writing the same bytes they did
+        d = JobSpec.normalize("point", {"seed": 2}).to_dict()
+        assert "priority" not in d
+        assert JobSpec.from_dict(d).priority == 0
+
+
 class TestBuildCells:
     def test_fig9_grid_expands_code_x_cores(self):
         spec = JobSpec.normalize(

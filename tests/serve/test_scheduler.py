@@ -1,10 +1,13 @@
-"""The scheduler: admission, coalescing, execution, degradation.
+"""The scheduler: admission, coalescing, execution, degradation,
+concurrent workers, aged priorities, and journal compaction.
 
 Cells are stubbed (``build_cells`` is monkeypatched) so these tests
 exercise the control plane in milliseconds; the real experiment cells
 are covered by the daemon round-trip and service-restart tests.
 """
 
+import json
+import threading
 import time
 
 import pytest
@@ -37,6 +40,21 @@ def _workload_cells(spec):
     result bytes are distinguishable in the cache."""
     return [SweepCell(key=("c0",), fn=_ok,
                       kwargs=dict(value=spec.params["workload"]))]
+
+
+#: per-seed gates for the concurrency tests: a gated cell parks until
+#: its seed's event is set, holding its job observably "running"
+_GATES: dict[int, threading.Event] = {}
+
+
+def _gated(seed):
+    assert _GATES[seed].wait(timeout=10), f"gate {seed} never released"
+    return {"value": seed}
+
+
+def _gated_cells(spec):
+    seed = spec.params["seed"]
+    return [SweepCell(key=("c0",), fn=_gated, kwargs=dict(seed=seed))]
 
 
 @pytest.fixture
@@ -211,7 +229,7 @@ class TestRecovery:
         journal = Journal(tmp_path / "journal.jsonl")
         sched = JobScheduler(journal=journal)
         record = sched.submit("point", {"seed": 1})
-        sched._running_id = record.job_id  # as if caught mid-run
+        sched._running.add(record.job_id)  # as if caught mid-run
         sched.stop()
         events = read_events(journal.path)
         assert events[-1]["event"] == "job_requeued"
@@ -267,3 +285,260 @@ class TestOverview:
         assert view["breaker"]["state"] == "closed"
         assert view["cache"]["entries"] == 1
         assert [j["job_id"] for j in view["jobs"]] == [record.job_id]
+        assert view["running"] == [] and view["workers"] == 1
+
+
+def _make(tmp_path, monkeypatch, cells=_fake_cells, name="journal.jsonl",
+          **kwargs):
+    monkeypatch.setattr("repro.serve.scheduler.build_cells", cells)
+    journal = Journal(tmp_path / name, compact_bytes=kwargs.pop(
+        "compact_bytes", 0))
+    kwargs.setdefault(
+        "retry", RetryPolicy(retries=0, base_delay_s=0.0, max_delay_s=0.0))
+    kwargs.setdefault("pool_jobs", 1)
+    return journal, JobScheduler(journal=journal, **kwargs)
+
+
+class TestConcurrentWorkers:
+    def test_two_jobs_run_simultaneously(self, tmp_path, monkeypatch):
+        """The tentpole acceptance: with workers=2, two submitted jobs
+        are both observably running at the same time."""
+        _GATES[11], _GATES[12] = threading.Event(), threading.Event()
+        journal, sched = _make(tmp_path, monkeypatch, cells=_gated_cells,
+                               workers=2)
+        sched.start()
+        try:
+            a = sched.submit("point", {"seed": 11})
+            b = sched.submit("point", {"seed": 12})
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                running = sched.overview()["running"]
+                if len(running) == 2:
+                    break
+                time.sleep(0.01)
+            assert sorted(running) == sorted([a.job_id, b.job_id])
+            assert sched.get(a.job_id).status == "running"
+            assert sched.get(b.job_id).status == "running"
+            _GATES[11].set()
+            _GATES[12].set()
+            assert _wait_done(sched, a.job_id).status == "done"
+            assert _wait_done(sched, b.job_id).status == "done"
+        finally:
+            _GATES[11].set(), _GATES[12].set()
+            sched.stop()
+            journal.close()
+
+    def test_single_worker_runs_one_at_a_time(self, tmp_path, monkeypatch):
+        _GATES[13], _GATES[14] = threading.Event(), threading.Event()
+        journal, sched = _make(tmp_path, monkeypatch, cells=_gated_cells,
+                               workers=1)
+        sched.start()
+        try:
+            a = sched.submit("point", {"seed": 13})
+            sched.submit("point", {"seed": 14})
+            deadline = time.monotonic() + 10
+            while (time.monotonic() < deadline
+                   and sched.get(a.job_id).status != "running"):
+                time.sleep(0.01)
+            time.sleep(0.05)  # give a second worker (if any) time to err
+            assert sched.overview()["running"] == [a.job_id]
+        finally:
+            _GATES[13].set(), _GATES[14].set()
+            sched.stop()
+            journal.close()
+
+    def test_results_identical_across_worker_counts(
+        self, tmp_path, monkeypatch
+    ):
+        """Concurrency must not change a single byte of any result."""
+        seeds, payloads = (3, 4, 5, 8), {}
+        for workers in (1, 2):
+            journal, sched = _make(
+                tmp_path, monkeypatch, workers=workers,
+                name=f"w{workers}.jsonl", pool_jobs=2,
+            )
+            sched.start()
+            try:
+                records = [sched.submit("point", {"seed": s}) for s in seeds]
+                payloads[workers] = [
+                    json.dumps(_wait_done(sched, r.job_id).to_result_dict()
+                               ["result"], sort_keys=True)
+                    for r in records
+                ]
+            finally:
+                sched.stop()
+                journal.close()
+        assert payloads[1] == payloads[2]
+
+    def test_workers_must_be_positive(self, tmp_path, monkeypatch):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="workers"):
+            _make(tmp_path, monkeypatch, workers=0)
+
+
+class TestCellProgress:
+    def test_cells_done_reaches_cells_total(self, scheduler):
+        """Satellite 2: progress comes from the executor's structured
+        per-cell callback, not from parsing progress-line text."""
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 5})  # 5 cells
+        done = _wait_done(scheduler, record.job_id)
+        assert (done.cells_done, done.cells_total) == (5, 5)
+        cell_events = [e for e in done.events if e["type"] == "cell"]
+        assert len(cell_events) == 5
+        assert all(e["ok"] for e in cell_events)
+        assert cell_events[-1]["cells_done"] == 5
+
+    def test_failed_cells_still_count_toward_done(self, scheduler):
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 666})  # 6 exploding cells
+        done = _wait_done(scheduler, record.job_id)
+        assert done.status == "failed"
+        assert (done.cells_done, done.cells_total) == (6, 6)
+        cell_events = [e for e in done.events if e["type"] == "cell"]
+        assert len(cell_events) == 6
+        assert not any(e["ok"] for e in cell_events)
+
+    def test_event_stream_orders_started_cells_finished(self, scheduler):
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 2})
+        done = _wait_done(scheduler, record.job_id)
+        kinds = [e["type"] for e in done.events]
+        assert kinds == ["started", "cell", "cell", "finished"]
+        assert [e["seq"] for e in done.events] == [1, 2, 3, 4]
+
+    def test_events_since_long_poll(self, scheduler):
+        scheduler.start()
+        record = scheduler.submit("point", {"seed": 1})
+        _wait_done(scheduler, record.job_id)
+        events, final = scheduler.events_since(record.job_id, 0)
+        assert [e["type"] for e in events] == ["started", "cell", "finished"]
+        assert not final  # final only once the caller has drained
+        # the drained stream closes immediately
+        events, final = scheduler.events_since(record.job_id, len(events))
+        assert (events, final) == ([], True)
+        assert scheduler.events_since("nonesuch", 0) == ([], True)
+
+
+class TestPriorities:
+    def test_higher_priority_runs_first(self, tmp_path, monkeypatch):
+        journal, sched = _make(tmp_path, monkeypatch)
+        low = sched.submit("point", {"seed": 1})
+        high = sched.submit("point", {"seed": 2, "priority": 5})
+        assert high.priority == 5 and low.priority == 0
+        sched.start()  # workers only see the queue now
+        _wait_done(sched, low.job_id)
+        _wait_done(sched, high.job_id)
+        started = [e["job_id"] for e in read_events(journal.path)
+                   if e["event"] == "job_started"]
+        assert started == [high.job_id, low.job_id]
+        sched.stop()
+        journal.close()
+
+    def test_waiting_jobs_age_past_fresh_high_priority(
+        self, tmp_path, monkeypatch
+    ):
+        """A priority-0 job that has waited long enough overtakes a
+        freshly submitted priority-3 job: no starvation."""
+        journal, sched = _make(tmp_path, monkeypatch, aging_s=0.01)
+        old = sched.submit("point", {"seed": 1})
+        time.sleep(0.1)  # ages ~10 points at aging_s=0.01
+        fresh = sched.submit("point", {"seed": 2, "priority": 3})
+        sched.start()
+        _wait_done(sched, old.job_id)
+        _wait_done(sched, fresh.job_id)
+        started = [e["job_id"] for e in read_events(journal.path)
+                   if e["event"] == "job_started"]
+        assert started == [old.job_id, fresh.job_id]
+        sched.stop()
+        journal.close()
+
+    def test_equal_priorities_run_fifo(self, tmp_path, monkeypatch):
+        journal, sched = _make(tmp_path, monkeypatch)
+        records = [sched.submit("point", {"seed": s}) for s in (1, 2, 3)]
+        sched.start()
+        for record in records:
+            _wait_done(sched, record.job_id)
+        started = [e["job_id"] for e in read_events(journal.path)
+                   if e["event"] == "job_started"]
+        assert started == [r.job_id for r in records]
+        sched.stop()
+        journal.close()
+
+    def test_coalescing_promotes_but_never_demotes(
+        self, tmp_path, monkeypatch
+    ):
+        journal, sched = _make(tmp_path, monkeypatch)
+        first = sched.submit("point", {"seed": 2})
+        assert first.priority == 0
+        again = sched.submit("point", {"seed": 2, "priority": 4})
+        assert again.job_id == first.job_id and first.priority == 4
+        sched.submit("point", {"seed": 2, "priority": 1})
+        assert first.priority == 4  # demotion ignored
+        journal.close()
+
+    def test_priority_does_not_split_the_digest(self, scheduler):
+        scheduler.start()
+        plain = scheduler.submit("point", {"seed": 2})
+        _wait_done(scheduler, plain.job_id)
+        hot = scheduler.submit("point", {"seed": 2, "priority": 9})
+        assert hot.digest == plain.digest
+        assert hot.cached  # one cache entry serves both
+
+
+class TestSchedulerCompaction:
+    def test_compacted_journal_restores_identical_state(
+        self, tmp_path, monkeypatch
+    ):
+        """Drive the journal past its threshold with real jobs, then
+        reboot a scheduler from the compacted file: identical status
+        and result payloads for every prior job id."""
+        path = tmp_path / "journal.jsonl"
+        journal, sched = _make(tmp_path, monkeypatch, compact_bytes=600)
+        sched.start()
+        records = [sched.submit("point", {"seed": s}) for s in (2, 3, 4)]
+        finals = {
+            r.job_id: _wait_done(sched, r.job_id).to_result_dict()
+            for r in records
+        }
+        hit = sched.submit("point", {"seed": 2})  # suppressed-payload line
+        finals[hit.job_id] = hit.to_result_dict()
+        sched.stop()
+        journal.close()
+        events = read_events(path)
+        assert "snapshot" in [e["event"] for e in events]
+        assert journal.compactions >= 1
+
+        journal2 = Journal(path)
+        sched2 = JobScheduler(
+            journal=journal2, pool_jobs=1,
+            retry=RetryPolicy(retries=0, base_delay_s=0.0, max_delay_s=0.0),
+        )
+        sched2.recover(rebuild(events))
+        for job_id, payload in finals.items():
+            restored = sched2.get(job_id).to_result_dict()
+            assert json.dumps(restored, sort_keys=True) == json.dumps(
+                payload, sort_keys=True
+            )
+        journal2.close()
+
+    def test_cache_hit_line_omits_payload_but_replay_restores_it(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "journal.jsonl"
+        journal, sched = _make(tmp_path, monkeypatch)
+        sched.start()
+        first = sched.submit("point", {"seed": 2})
+        done = _wait_done(sched, first.job_id)
+        hit = sched.submit("point", {"seed": 2})
+        sched.stop()
+        journal.close()
+        raw = [json.loads(line) for line in path.read_text().splitlines()]
+        hit_line = next(
+            r for r in raw
+            if r["event"] == "job_finished" and r["job_id"] == hit.job_id
+        )
+        assert hit_line["cached"] and "result" not in hit_line
+        state = rebuild(read_events(path))
+        assert state.jobs[hit.job_id]["result"] == done.result
