@@ -44,8 +44,7 @@ def test_micro_engine_dispatch_cascade(benchmark):
 
     succeed -> callback -> succeed chains, 50k hops. Before the lane
     every hop cost a heapq push/pop of a (time, seq, call) tuple; now
-    hops ride a plain FIFO. The committed before/after numbers are in
-    README.md ("Performance"): 0.67 -> 1.28 M events/s (1.9x).
+    hops ride a plain FIFO (see README.md, "Performance").
     """
 
     def run():
@@ -94,6 +93,63 @@ def test_micro_store_pingpong(benchmark):
         return got[0]
 
     assert benchmark(run) == 25_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_timeline_timer_churn(benchmark):
+    """Re-arm/fire churn through the array-backed timeline.
+
+    The same shape as test_micro_engine_event_throughput — four serial
+    owners, 2500 timed waits each — but every wait rides a reusable
+    timeline channel instead of allocating a Timeout + ScheduledCall
+    per event. The merged drain order is identical (the equivalence is
+    asserted in tests/sim/test_timeline.py); the ratio of these two
+    benchmarks is the per-event win of the struct-of-arrays store.
+    """
+    from repro.sim.timeline import KIND_TASK
+
+    def run():
+        engine = Engine()
+
+        def worker():
+            timer = engine.timeline.timer(KIND_TASK)
+            for _ in range(2500):
+                yield timer.after(1.0)
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        return engine.now
+
+    assert benchmark(run) == 2500.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_bandwidth_reschedule_churn(benchmark):
+    """Processor-sharing arrivals: every transfer re-arms one DIRECT row.
+
+    Before the timeline this path cancelled and re-pushed a
+    ScheduledCall per arrival; the lazily-shed stale rows now stay in
+    the timeline heap and the wakeup fires straight from the drain
+    slot.
+    """
+
+    def run():
+        engine = Engine()
+        from repro.sim.resources import BandwidthResource
+
+        membw = BandwidthResource(engine, capacity=1e9)
+
+        def producer():
+            for _ in range(2000):
+                yield membw.transfer(1e6)
+
+        for _ in range(2):
+            engine.process(producer())
+        engine.run()
+        return membw.total_work
+
+    assert benchmark(run) == pytest.approx(4e9)
 
 
 @pytest.mark.benchmark(group="micro")

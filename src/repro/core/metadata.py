@@ -133,6 +133,11 @@ class ChainMeta:
     write_segs: list[WriteSegMeta]
     #: GA name the active sorts accumulate into ("" = default output)
     target_array: str = ""
+    #: memoized root_producer() result — PTG guards and param maps call
+    #: it for every dep evaluation, and it is pure in the static fields
+    _root_producer: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def c_size(self) -> int:
@@ -159,9 +164,14 @@ class ChainMeta:
 
     def root_producer(self) -> tuple[str, tuple]:
         """(class name, params) of the task producing the final C."""
-        if self.n_segments == 1:
-            return ("GEMM", (self.chain_id, self.segments[0].last_position))
-        return ("REDUCE", (self.chain_id, self.root_step))
+        producer = self._root_producer
+        if producer is None:
+            if self.n_segments == 1:
+                producer = ("GEMM", (self.chain_id, self.segments[0].last_position))
+            else:
+                producer = ("REDUCE", (self.chain_id, self.root_step))
+            self._root_producer = producer
+        return producer
 
     def source_producer(self, source: tuple[str, int]) -> tuple[str, tuple]:
         """(class name, params) of a reduce-tree input source."""

@@ -25,6 +25,7 @@ from repro.ga.array import GlobalArray
 from repro.ga.distribution import Distribution, Segment
 from repro.sim.cluster import Cluster, DataMode
 from repro.sim.engine import SimEvent, all_of
+from repro.sim.timeline import KIND_COMM
 from repro.util.errors import GlobalArrayError
 
 __all__ = ["GlobalArrays"]
@@ -207,6 +208,9 @@ class GlobalArrays:
     # ------------------------------------------------------------------
     def _handler(self, node):
         inbox = node.inbox(self.INBOX)
+        # one reusable timeline channel per handler (serial FIFO server,
+        # at most one service timeout outstanding)
+        timer = self.engine.timeline.timer(KIND_COMM, node=node.node_id)
         while True:
             message = yield inbox.get()
             request: _Request = message.payload
@@ -217,7 +221,7 @@ class GlobalArrays:
             # rate — see MachineModel.ga_service_bytes_per_s). This
             # single server per node is the contention point that caps
             # the original code's scaling in the Figure 9 reproduction.
-            yield self.engine.timeout(
+            yield timer.after(
                 self.machine.ga_request_overhead_s
                 + seg_bytes / self.machine.ga_service_bytes_per_s
             )

@@ -30,7 +30,9 @@ from repro.tce.subroutine import ChainSpec
 __all__ = ["execute_chain"]
 
 
-def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=None):
+def execute_chain(
+    cluster, ga, node, thread: int, chain: ChainSpec, on_commit=None, timer=None
+):
     """Generator helper: run one chain to completion on one rank.
 
     ``on_commit``, if given, is invoked synchronously right before the
@@ -38,13 +40,15 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=No
     that point the chain has only read shared data and touched private
     buffers, so an aborted attempt leaves no trace and the chain can be
     re-executed wholesale; past it the chain must run to completion.
+    ``timer`` is the calling rank's reusable timeline channel; every
+    CPU charge in the chain re-arms it instead of allocating a Timeout.
     """
     machine = cluster.machine
     real = cluster.data_mode.value == "real"
     label = f"c{chain.chain_id}"
 
     # MA_PUSH_GET and friends: local memory management bookkeeping
-    yield from node.occupy(machine.legacy_call_overhead_s)
+    yield from node.occupy(machine.legacy_call_overhead_s, timer=timer)
 
     # DFILL: zero-initialize the C buffer
     yield from node.execute(
@@ -52,6 +56,7 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=No
         TaskCategory.DFILL,
         f"DFILL:{label}",
         machine.zero_fill(chain.c_size),
+        timer=timer,
     )
     C: Optional[np.ndarray] = np.zeros((chain.m, chain.n)) if real else None
 
@@ -75,13 +80,14 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=No
             label=f"GET_B:{label}.{gemm.position}",
         )
         # per-call bookkeeping (hash lookups, MA stack)
-        yield from node.occupy(machine.legacy_call_overhead_s)
+        yield from node.occupy(machine.legacy_call_overhead_s, timer=timer)
         yield from node.execute(
             thread,
             TaskCategory.GEMM,
             f"GEMM:{label}.{gemm.position}",
             machine.gemm(gemm.m, gemm.n, gemm.k),
             meta={"chain": chain.chain_id, "position": gemm.position},
+            timer=timer,
         )
         if real:
             a = a_flat.reshape(gemm.k, gemm.m)
@@ -97,6 +103,7 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=No
             TaskCategory.SORT,
             f"SORT_4:{label}.{sw.sort_index}",
             machine.sort4(chain.c_size),
+            timer=timer,
         )
         sorted_flat: Optional[np.ndarray] = None
         if real:
@@ -116,4 +123,4 @@ def execute_chain(cluster, ga, node, thread: int, chain: ChainSpec, on_commit=No
         )
 
     # MA_POP_STACK
-    yield from node.occupy(machine.legacy_call_overhead_s)
+    yield from node.occupy(machine.legacy_call_overhead_s, timer=timer)

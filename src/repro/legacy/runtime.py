@@ -32,6 +32,7 @@ from repro.legacy.chain_exec import execute_chain
 from repro.obs.result import RunResult
 from repro.sim.cluster import Cluster
 from repro.sim.faults import killable
+from repro.sim.timeline import KIND_TASK
 from repro.sim.trace import TaskCategory
 from repro.tce.subroutine import ChainSpec, Subroutine
 from repro.util.errors import ConfigurationError
@@ -185,6 +186,9 @@ class LegacyRuntime:
         key = (node.node_id, thread)
         result.chains_per_rank.setdefault(key, 0)
         n_ranks = barrier.parties
+        # one reusable timeline channel per rank: every CPU charge in
+        # every chain this rank executes re-arms the same slot
+        timer = self.cluster.engine.timeline.timer(KIND_TASK, node=node.node_id)
         for level_chains, counter in zip(levels, counters):
             if not node.alive:
                 # this rank's compute died between levels
@@ -194,7 +198,7 @@ class LegacyRuntime:
                 return
             if self.config.use_nxtval:
                 survived, lost_ticket = yield from self._claim_loop(
-                    node, thread, level_chains, counter, result, key
+                    node, thread, level_chains, counter, result, key, timer=timer
                 )
                 if not survived:
                     yield from self._rank_died(
@@ -204,7 +208,7 @@ class LegacyRuntime:
             else:
                 for index in range(rank_id, len(level_chains), n_ranks):
                     yield from self._run_chain(
-                        node, thread, level_chains[index], result, key
+                        node, thread, level_chains[index], result, key, timer=timer
                     )
             t_start = self.cluster.engine.now
             yield from barrier.arrive()
@@ -224,7 +228,15 @@ class LegacyRuntime:
             )
 
     def _claim_loop(
-        self, node, thread, level_chains, counter, result, key, recovering=False
+        self,
+        node,
+        thread,
+        level_chains,
+        counter,
+        result,
+        key,
+        recovering=False,
+        timer=None,
     ):
         """NXTVAL claim loop for one level on one rank.
 
@@ -251,7 +263,13 @@ class LegacyRuntime:
                 # died while the request was in flight: claimed, no work done
                 return False, ticket
             completed = yield from self._run_chain(
-                node, thread, level_chains[ticket], result, key, recovering=recovering
+                node,
+                thread,
+                level_chains[ticket],
+                result,
+                key,
+                recovering=recovering,
+                timer=timer,
             )
             if not completed:
                 return False, ticket
@@ -259,7 +277,9 @@ class LegacyRuntime:
                 # committed chain finished on a dead node; stop claiming
                 return False, None
 
-    def _run_chain(self, node, thread, chain, result, key, recovering=False):
+    def _run_chain(
+        self, node, thread, chain, result, key, recovering=False, timer=None
+    ):
         """Run one chain with fault handling; returns True if completed.
 
         Injected transient failures retry the chain from scratch (its
@@ -284,6 +304,7 @@ class LegacyRuntime:
             thread,
             chain,
             on_commit=lambda: committed.__setitem__(0, True),
+            timer=timer,
         )
         if faults is None:
             yield from body

@@ -107,23 +107,39 @@ class TaskGraph:
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Check every expected delivery has exactly one producer."""
+        """Check every expected delivery has exactly one producer.
+
+        Iterates dep-outer / instance-inner so each dep's guard and
+        param map are bound once per class rather than once per
+        instance — validation runs on every instantiate, so its
+        constant factor shows up in sweep wall clock.
+        """
         incoming: dict[tuple, int] = defaultdict(int)
         md = self.md
-        for instance in self.instances.values():
-            for flow in instance.cls.flows:
+        instances = self.instances
+        groups: dict[str, list[TaskInstance]] = defaultdict(list)
+        for instance in instances.values():
+            groups[instance.cls.name].append(instance)
+        for group in groups.values():
+            cls = group[0].cls
+            for flow in cls.flows:
                 for dep in flow.outputs:
-                    if not dep.active(instance.params, md):
-                        continue
-                    consumer_params = tuple(dep.param_map(instance.params, md))
-                    consumer_key = (dep.target_class, consumer_params)
-                    if consumer_key not in self.instances:
-                        raise DataflowError(
-                            f"{instance.label}.{flow.name} targets missing task "
-                            f"{dep.target_class}{consumer_params}"
-                        )
-                    incoming[(consumer_key, dep.flow)] += 1
-        for instance in self.instances.values():
+                    guard = dep.guard
+                    param_map = dep.param_map
+                    target_class = dep.target_class
+                    target_flow = dep.flow
+                    for instance in group:
+                        params = instance.params
+                        if guard is not None and not guard(params, md):
+                            continue
+                        consumer_key = (target_class, tuple(param_map(params, md)))
+                        if consumer_key not in instances:
+                            raise DataflowError(
+                                f"{instance.label}.{flow.name} targets missing "
+                                f"task {target_class}{consumer_key[1]}"
+                            )
+                        incoming[(consumer_key, target_flow)] += 1
+        for instance in instances.values():
             expected = instance.pending
             actual = sum(
                 incoming.get((instance.key, flow.name), 0)

@@ -114,6 +114,7 @@ class ParsecRuntime:
         self.done: Optional[SimEvent] = None
         self.done_at: Optional[float] = None
         self._completed = 0
+        self._n_tasks = 0
         # statistics
         self.messages_remote = 0
         self.bytes_remote = 0.0
@@ -141,6 +142,7 @@ class ParsecRuntime:
         self._rehome_dead_at_launch()
         self.done = self.cluster.engine.event()
         self._completed = 0
+        self._n_tasks = len(self.graph)
         for node in self.cluster.nodes:
             self.schedulers.append(
                 NodeScheduler(
@@ -333,32 +335,38 @@ class ParsecRuntime:
     # ------------------------------------------------------------------
     def _on_complete(self, task: TaskInstance, context: TaskContext) -> None:
         md = self.md
+        instances = self.graph.instances
+        params = task.params
+        node = task.node
+        key = task.key
         for flow in task.cls.flows:
             data = context.outputs.get(flow.name)
             for dep in flow.outputs:
-                if not dep.active(task.params, md):
+                # inlined dep.active(): this pair of attribute loads runs
+                # once per output dep of every completed task
+                guard = dep.guard
+                if guard is not None and not guard(params, md):
                     continue
-                consumer_params = tuple(dep.param_map(task.params, md))
-                consumer_key = (dep.target_class, consumer_params)
+                consumer_key = (dep.target_class, tuple(dep.param_map(params, md)))
                 payload = data
                 if dep.transform is not None and data is not None:
-                    payload = dep.transform(data, task.params, md)
-                consumer = self.graph.instances.get(consumer_key)
+                    payload = dep.transform(data, params, md)
+                consumer = instances.get(consumer_key)
                 if consumer is None:
                     raise DataflowError(
                         f"{task.label}.{flow.name} -> missing {consumer_key}"
                     )
-                if consumer.node == task.node:
+                if consumer.node == node:
                     # same node: pass by pointer, no transport
-                    self._deliver(consumer_key, dep.flow, payload, tag=task.key)
+                    self._deliver(consumer_key, dep.flow, payload, tag=key)
                 else:
                     size_fn = dep.size_elems or flow.size_elems
-                    size_bytes = 8.0 * float(size_fn(task.params, md))
-                    self.comms[task.node].send(
-                        consumer_key, dep.flow, payload, size_bytes, tag=task.key
+                    size_bytes = 8.0 * float(size_fn(params, md))
+                    self.comms[node].send(
+                        consumer_key, dep.flow, payload, size_bytes, tag=key
                     )
         self._completed += 1
-        if self._completed == len(self.graph):
+        if self._completed == self._n_tasks:
             self.done_at = self.cluster.engine.now
             self.done.succeed()
 

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 from repro.parsec.taskclass import TaskContext, TaskInstance
 from repro.sim.faults import killable
 from repro.sim.queues import LifoStore, PriorityStore, Store
+from repro.sim.timeline import KIND_TASK
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parsec.runtime import ParsecRuntime
@@ -102,7 +103,13 @@ class NodeScheduler:
 
         Also abandons any getter events left behind by workers that were
         blocked on ``get()`` at crash time — otherwise a later ``put()``
-        would hand a task to a corpse and silently lose it.
+        would hand a task to a corpse and silently lose it — and any
+        waiter events those workers left parked on the node's local
+        mutexes, so ``Resource.release()`` never grants a critical
+        region to a corpse (the semaphore twin of the getter bug). NIC
+        waiters are deliberately left alone: they belong to transfer
+        processes, and in-flight protocol traffic survives a compute
+        crash (RDMA-style fail-stop model).
         """
         drained: list[TaskInstance] = []
         for store in (self.ready, self.gpu_ready):
@@ -114,6 +121,8 @@ class NodeScheduler:
                 if not ok:
                     break
                 drained.append(item)
+        for mutex in self.node._mutexes.values():
+            mutex.abandon_waiters()
         return drained
 
     def enqueue(self, task: TaskInstance) -> None:
@@ -132,21 +141,20 @@ class NodeScheduler:
                 "sched.ready_depth.hwm", len(queue), node=self.node.node_id
             )
 
-    def _retry_gate(self, task: TaskInstance):
-        """Generator helper: burn injected transient failures, if any.
+    def _retry_gate(self, faults, task: TaskInstance, timer):
+        """Generator helper: burn injected transient failures.
 
         Each failed attempt costs the plan's detection latency; the
         decision is a pure function of (task label, attempt), so retry
         counts are identical across runs with the same fault seed.
+        Callers skip the call entirely when no plan is installed — the
+        fault-free path pays neither the generator frame nor a yield.
         """
-        faults = self.runtime.cluster.faults
-        if faults is None:
-            return
         attempt = 0
         while faults.plan.task_fails(task.label, attempt):
             faults.note_task_retry()
             if faults.plan.task_fail_detect_s > 0:
-                yield self.engine.timeout(faults.plan.task_fail_detect_s)
+                yield timer.after(faults.plan.task_fail_detect_s)
             attempt += 1
 
     def _run_body(self, task: TaskInstance, context: TaskContext):
@@ -156,7 +164,15 @@ class NodeScheduler:
         crash re-homed the task mid-flight (its epoch changed); the
         caller must drop this attempt — the survivor node re-executes
         from the task's still-held inputs.
+
+        Without an installed fault plan nothing can kill a task, so the
+        body is driven bare — ``yield from`` forwards every waitable
+        (and every thrown failure) exactly as :func:`killable` would,
+        without the per-step abort predicate.
         """
+        if self.runtime.cluster.faults is None:
+            yield from task.cls.run(context)
+            return True
         epoch = task.epoch
         completed = yield from killable(
             task.cls.run(context), lambda: task.epoch != epoch
@@ -169,6 +185,20 @@ class NodeScheduler:
         node = self.node
         ready = self.ready
         checkpoint = self.engine.checkpoint
+        faults = cluster.faults
+        # one reusable timeline channel per worker: a worker has at most
+        # one timed wait outstanding, so every per-task timeout (overhead,
+        # retry detection, body charges) re-arms the same slot instead of
+        # allocating a Timeout — sequence-identical, see timeline.py
+        timer = self.engine.timeline.timer(KIND_TASK, node=node.node_id)
+        task_overhead = machine.task_overhead_s
+        # per-task loop invariants, hoisted once per worker lifetime
+        engine = self.engine
+        metrics = self.metrics
+        md = self.runtime.md
+        on_complete = self.runtime._on_complete
+        trace_record = node.trace.record
+        node_id = node.node_id
         while True:
             # Hot path: work already queued. try_get + checkpoint resumes
             # through the immediate lane without allocating a SimEvent and
@@ -183,38 +213,39 @@ class NodeScheduler:
                 yield checkpoint
             if not node.alive:
                 break  # queued work was re-homed by the crash handler
-            if task.done or task.node != node.node_id:
+            if task.done or task.node != node_id:
                 # stale queue entry: the task migrated (work stealing) or
                 # was re-homed while waiting here; its new owner runs it
-                if self.metrics.enabled:
-                    self.metrics.inc("steal.stale_skipped")
+                if metrics.enabled:
+                    metrics.inc("steal.stale_skipped")
                 continue
             # pin the task to this node before the next yield: a claimed
             # task is never migrated out from under a ramping-up worker
             task.claimed = True
             # per-task runtime bookkeeping (select + dependence checks)
-            if machine.task_overhead_s > 0:
-                yield self.engine.timeout(machine.task_overhead_s)
-            yield from self._retry_gate(task)
+            if task_overhead > 0:
+                yield timer.after(task_overhead)
+            if faults is not None:
+                yield from self._retry_gate(faults, task, timer)
             if not node.alive:
                 # crashed while this attempt was ramping up; the task was
                 # already re-homed, and starting it here would capture the
                 # *bumped* epoch and defeat the kill predicate
                 break
             task.started = True
-            context = TaskContext(task, self.runtime.md, cluster, node, thread)
-            t_start = self.engine.now
+            context = TaskContext(task, md, cluster, node, thread, timer=timer)
+            t_start = engine.now
             completed = yield from self._run_body(task, context)
             if not completed:
-                cluster.faults.note_abort(self.engine.now - t_start)
+                cluster.faults.note_abort(engine.now - t_start)
                 break  # epoch bumps only come from this node's own crash
-            node.trace.record(
-                node.node_id,
+            trace_record(
+                node_id,
                 thread,
                 task.cls.category,
                 task.label,
                 t_start,
-                self.engine.now,
+                engine.now,
                 meta=(
                     {"stolen_from": task.stolen_from}
                     if task.stolen_from is not None
@@ -223,12 +254,10 @@ class NodeScheduler:
             )
             task.done = True
             self.tasks_executed += 1
-            if self.metrics.enabled:
-                self.metrics.inc("sched.tasks_executed", cls=task.cls.name)
-                self.metrics.observe(
-                    "sched.task_duration_s", self.engine.now - t_start
-                )
-            self.runtime._on_complete(task, context)
+            if metrics.enabled:
+                metrics.inc("sched.tasks_executed", cls=task.cls.name)
+                metrics.observe("sched.task_duration_s", engine.now - t_start)
+            on_complete(task, context)
             if not node.alive:
                 break
 
@@ -245,6 +274,8 @@ class NodeScheduler:
         thread = cluster.cores_per_node + 1 + gpu  # +1 skips the comm thread row
         gpu_ready = self.gpu_ready
         checkpoint = self.engine.checkpoint
+        faults = cluster.faults
+        timer = self.engine.timeline.timer(KIND_TASK, node=node.node_id)
         while True:
             ok, task = gpu_ready.try_get()  # see _worker: seq-neutral fast path
             if not ok:
@@ -259,13 +290,14 @@ class NodeScheduler:
                 continue
             task.claimed = True  # see _worker: pin before the next yield
             if machine.gpu_task_overhead_s > 0:
-                yield self.engine.timeout(machine.gpu_task_overhead_s)
-            yield from self._retry_gate(task)
+                yield timer.after(machine.gpu_task_overhead_s)
+            if faults is not None:
+                yield from self._retry_gate(faults, task, timer)
             if not node.alive:
                 break  # see _worker: avoid capturing a post-crash epoch
             task.started = True
             context = TaskContext(
-                task, md, cluster, node, thread, device="gpu"
+                task, md, cluster, node, thread, device="gpu", timer=timer
             )
             t_start = self.engine.now
             in_bytes = 8.0 * sum(

@@ -121,7 +121,8 @@ class TaskClass:
         count = 0
         for flow in self.flows:
             for dep in flow.inputs:
-                if dep.active(params, md):
+                guard = dep.guard
+                if guard is None or guard(params, md):
                     count += 1
         return count
 
@@ -146,6 +147,7 @@ class TaskInstance:
         "committed",
         "claimed",
         "stolen_from",
+        "_label",
     )
 
     def __init__(
@@ -174,6 +176,7 @@ class TaskInstance:
         #: node the task was stolen from, when the stealing layer
         #: migrated its chain (None = never migrated); trace-only.
         self.stolen_from: Optional[int] = None
+        self._label: Optional[str] = None
 
     @property
     def key(self) -> tuple[str, Params]:
@@ -181,7 +184,12 @@ class TaskInstance:
 
     @property
     def label(self) -> str:
-        return f"{self.cls.name}{self.params}"
+        # built lazily and cached: the label is re-read on every trace
+        # record, fault decision, and retry key for the same instance
+        label = self._label
+        if label is None:
+            label = self._label = f"{self.cls.name}{self.params}"
+        return label
 
     def receive(self, flow: str, data: Any, tag: Any = None) -> bool:
         """Satisfy one input delivery; returns True if now ready.
@@ -232,6 +240,7 @@ class TaskContext:
         "node",
         "thread",
         "device",
+        "timer",
         "outputs",
     )
 
@@ -243,6 +252,7 @@ class TaskContext:
         node,
         thread: int,
         device: str = "cpu",
+        timer=None,
     ) -> None:
         self.task = task
         self.md = md
@@ -251,6 +261,10 @@ class TaskContext:
         self.thread = thread
         #: 'cpu' or 'gpu' — which worker kind is executing the body
         self.device = device
+        #: the worker's reusable timeline channel (None outside a
+        #: scheduler worker); charge() arms it instead of allocating
+        #: a Timeout per cost
+        self.timer = timer
         self.outputs: dict[str, Any] = {}
 
     @property
@@ -279,7 +293,11 @@ class TaskContext:
         charges stay untraced here.
         """
         if cost.cpu > 0:
-            yield self.cluster.engine.timeout(cost.cpu * self.node.cpu_scale())
+            scaled = cost.cpu * self.node.cpu_scale()
+            if self.timer is not None:
+                yield self.timer.after(scaled)
+            else:
+                yield self.cluster.engine.timeout(scaled)
         if cost.bytes > 0:
             yield self.node.membw.transfer(cost.bytes)
 

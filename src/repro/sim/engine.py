@@ -24,6 +24,13 @@ Design notes
   pushing the same callbacks through ``heapq`` at zero delay, while
   costing one ``deque`` operation instead of two O(log n) heap
   operations. Golden-digest tests pin this equivalence.
+- Shape-homogeneous event classes (worker task timeouts, comm-thread
+  service timeouts, bandwidth wakeups) ride the
+  :class:`~repro.sim.timeline.BatchedTimeline`, a third drain source
+  merged by the same ``(time, seq)`` rule. Its rows are bare tuples
+  over struct-of-arrays channel state — no per-event allocation at
+  all — and its sequence numbers come from the same shared counter,
+  so the merged order is again identical to the all-heap order.
 - A process that raises with nobody waiting on its completion re-raises
   out of :meth:`Engine.run` — silent death of a simulated thread would
   otherwise manifest as an inexplicable hang.
@@ -36,6 +43,7 @@ import itertools
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.sim.timeline import BatchedTimeline
 from repro.util.errors import SimulationError
 
 __all__ = [
@@ -103,7 +111,10 @@ class Checkpoint:
         self._engine = engine
 
     def _wait(self, callback: Callable) -> None:
-        self._engine.call_soon(callback, None)
+        # inlined call_soon — this is one lane append per queue fast-path
+        # hop, the single most frequent wait in a converted simulation
+        engine = self._engine
+        engine._immediate.append((engine.now, next(engine._seq), callback, None))
 
 
 #: Compaction only kicks in past this heap size: tiny heaps are cheap
@@ -124,6 +135,9 @@ class Engine:
         self._running = False
         self._cancelled_pending = 0
         self.checkpoint = Checkpoint(self)
+        #: struct-of-arrays store for homogeneous event classes, merged
+        #: with the heap and lane by (time, seq) — see timeline.py
+        self.timeline = BatchedTimeline(self)
 
     # ------------------------------------------------------------------
     # introspection
@@ -213,8 +227,8 @@ class Engine:
 
         Invariant: a callback may push, cancel, or — via cancellation —
         compact the heap, so any peeked head entry is stale the moment a
-        callback has run. The loop therefore re-reads both the heap head
-        and the lane head on every iteration and never carries an entry
+        callback has run. The loop therefore re-reads the heap, lane,
+        and timeline heads on every iteration and never carries an entry
         reference across a callback. (:meth:`peek` pops cancelled heads
         for the same reason: callers must treat it as mutating.)
         """
@@ -223,6 +237,13 @@ class Engine:
         self._running = True
         heap = self._heap  # _compact() rebuilds in place, alias stays valid
         lane = self._immediate
+        popleft = lane.popleft
+        timeline = self.timeline
+        tl_heap = timeline._heap  # _compact() rebuilds in place too
+        tl_armed = timeline._chan_armed  # append-only column, alias stays valid
+        tl_cb = timeline._chan_cb
+        tl_modes = timeline._kind_modes
+        seq = self._seq
         pop = heapq.heappop
         try:
             while True:
@@ -231,39 +252,94 @@ class Engine:
                     dead = pop(heap)[2]
                     dead.popped = True
                     self._cancelled_pending -= 1
+                # shed stale timeline heads (disarmed / re-armed channels)
+                while tl_heap and tl_heap[0][1] != tl_armed[tl_heap[0][4]]:
+                    pop(tl_heap)
+                    timeline._stale_pending -= 1
+                    timeline.stale_dropped += 1
+                # challenger: the earlier of the two heap heads. Tuple
+                # comparison never reaches the third element because the
+                # shared counter makes (time, seq) pairs unique.
+                if heap:
+                    best = heap[0]
+                    if tl_heap and tl_heap[0] < best:
+                        best = tl_heap[0]
+                elif tl_heap:
+                    best = tl_heap[0]
+                else:
+                    best = None
                 if lane:
                     head = lane[0]
                     # lane entries are stamped at-or-before the clock and
-                    # the clock never passes a pending heap entry, so the
-                    # lane head can only tie the heap head on time — the
-                    # shared sequence counter then decides, exactly as a
-                    # heap push at zero delay would have.
-                    if heap and (
-                        heap[0][0] < head[0]
-                        or (heap[0][0] == head[0] and heap[0][1] < head[1])
-                    ):
-                        head = None
-                else:
-                    head = None
-                if head is not None:
+                    # the clock never passes a pending heap/timeline entry,
+                    # so the lane head can only tie on time — the shared
+                    # sequence counter then decides, exactly as a heap
+                    # push at zero delay would have.
+                    #
+                    # Burst drain: every entry *currently* in the lane that
+                    # beats ``best`` can fire without re-consulting the
+                    # heaps. Any entry a callback pushes mid-burst carries a
+                    # fresh (larger) sequence number and a time >= now, so
+                    # it can never sort before a lane entry that was already
+                    # enqueued — comparing against the pre-burst ``best`` is
+                    # exact, not merely conservative. (A mid-burst
+                    # cancellation of ``best`` only ends the burst early;
+                    # the outer loop re-sheds and re-selects.)
+                    if best is None:
+                        if until is not None and head[0] > until:
+                            self.now = until
+                            return until
+                        for _ in range(len(lane)):
+                            head = popleft()
+                            self.now = head[0]
+                            head[2](head[3])
+                        continue
+                    best_time = best[0]
+                    best_seq = best[1]
                     time = head[0]
-                    if until is not None and time > until:
-                        self.now = until
-                        return self.now
-                    lane.popleft()
-                    self.now = time
-                    head[2](head[3])
-                elif heap:
-                    time, _, call = heap[0]
-                    if until is not None and time > until:
-                        self.now = until
-                        return self.now
+                    if time < best_time or (
+                        time == best_time and head[1] < best_seq
+                    ):
+                        if until is not None and time > until:
+                            self.now = until
+                            return until
+                        for _ in range(len(lane)):
+                            head = lane[0]
+                            time = head[0]
+                            if time > best_time or (
+                                time == best_time and head[1] > best_seq
+                            ):
+                                break
+                            popleft()
+                            self.now = time
+                            head[2](head[3])
+                        continue
+                if best is None:
+                    break
+                time = best[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return until
+                if heap and best is heap[0]:
                     pop(heap)
+                    call = best[2]
                     call.popped = True
                     self.now = time
                     call.fn(*call.args)
                 else:
-                    break
+                    # inlined BatchedTimeline._fire (hot: one call frame
+                    # per fired row adds up at this volume)
+                    pop(tl_heap)
+                    self.now = time
+                    slot = best[4]
+                    tl_armed[slot] = -1
+                    timeline.fired_total += 1
+                    cb = tl_cb[slot]
+                    if tl_modes[best[2]]:
+                        cb()  # DIRECT: ScheduledCall-equivalent
+                    else:
+                        # PERSISTENT: Timeout-equivalent lane hop
+                        lane.append((time, next(seq), cb, None))
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -282,11 +358,26 @@ class Engine:
             dead = heapq.heappop(heap)[2]
             dead.popped = True
             self._cancelled_pending -= 1
+        timeline = self.timeline
+        tl_heap = timeline._heap
+        tl_armed = timeline._chan_armed
+        while tl_heap and tl_heap[0][1] != tl_armed[tl_heap[0][4]]:
+            heapq.heappop(tl_heap)
+            timeline._stale_pending -= 1
+            timeline.stale_dropped += 1
+        if heap:
+            best_time = heap[0][0]
+            if tl_heap and tl_heap[0][0] < best_time:
+                best_time = tl_heap[0][0]
+        elif tl_heap:
+            best_time = tl_heap[0][0]
+        else:
+            best_time = None
         if self._immediate:
             lane_time = self._immediate[0][0]
-            if not heap or lane_time <= heap[0][0]:
+            if best_time is None or lane_time <= best_time:
                 return lane_time
-        return heap[0][0] if heap else None
+        return best_time
 
 
 class SimEvent:
@@ -359,14 +450,22 @@ class SimEvent:
         callbacks = self._callbacks
         if callbacks:
             self._callbacks = None
+            # inlined call_soon (hot: once per triggered event)
+            engine = self._engine
+            imm = engine._immediate
+            now = engine.now
+            seq = engine._seq
             for cb in callbacks:
-                self._engine.call_soon(cb, self)
+                imm.append((now, next(seq), cb, self))
 
     # -- waiting ----------------------------------------------------------
     def _wait(self, callback: Callable[["SimEvent"], None]) -> None:
         """Register ``callback(event)``; runs (via the lane) once triggered."""
         if self._status != _PENDING:
-            self._engine.call_soon(callback, self)
+            engine = self._engine  # inlined call_soon
+            engine._immediate.append(
+                (engine.now, next(engine._seq), callback, self)
+            )
         elif self._callbacks is None:
             self._callbacks = [callback]
         else:
@@ -415,7 +514,18 @@ class Process:
     so processes can fork and join each other.
     """
 
-    __slots__ = ("engine", "name", "_generator", "completion", "_started")
+    __slots__ = (
+        "engine",
+        "name",
+        "_generator",
+        "_status",
+        "_value",
+        "_callbacks",
+        "_completion",
+        "_started",
+        "_step_cb",
+        "_send",
+    )
 
     def __init__(
         self, engine: Engine, generator: Generator, name: Optional[str] = None
@@ -428,41 +538,123 @@ class Process:
         self.engine = engine
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
-        self.completion = SimEvent(engine)
-        engine.call_soon(self._step, None)
+        # The process is its own completion waitable: most processes
+        # (network transfers, fire-and-forget workers) finish with
+        # nobody joining them, so the dedicated completion SimEvent is
+        # materialized lazily via the :attr:`completion` property.
+        self._status = _PENDING
+        self._value: Any = None
+        self._callbacks: Optional[list[Callable]] = None
+        self._completion: Optional[SimEvent] = None
+        # the same bound methods are used on every yield; binding them
+        # once avoids a descriptor allocation per step
+        self._step_cb = self._step
+        self._send = generator.send
+        # inlined call_soon (hot: once per spawned process)
+        engine._immediate.append(
+            (engine.now, next(engine._seq), self._step_cb, None)
+        )
+
+    @property
+    def completion(self) -> SimEvent:
+        """The completion event, materialized on first access.
+
+        Pending callbacks registered directly on the process migrate to
+        the event, so mixing ``yield process`` with explicit
+        ``process.completion`` use observes one consistent waitable.
+        """
+        event = self._completion
+        if event is None:
+            event = self._completion = SimEvent(self.engine)
+            if self._status == _SUCCEEDED:
+                event.succeed(self._value)
+            elif self._status == _FAILED:
+                event.fail(self._value)
+            elif self._callbacks:
+                event._callbacks = self._callbacks
+                self._callbacks = None
+        return event
 
     @property
     def alive(self) -> bool:
         """True while the underlying generator has not finished."""
-        return not self.completion.triggered
+        return self._status == _PENDING
+
+    # SimEvent-compatible views, so ``yield process`` waiters (and the
+    # all_of/any_of combinators) can read the result straight off the
+    # process without forcing the completion event into existence.
+    @property
+    def triggered(self) -> bool:
+        return self._status != _PENDING
+
+    @property
+    def ok(self) -> bool:
+        return self._status == _SUCCEEDED
+
+    @property
+    def failed(self) -> bool:
+        return self._status == _FAILED
+
+    @property
+    def value(self) -> Any:
+        return self._value
 
     def _wait(self, callback: Callable[[SimEvent], None]) -> None:
-        """Waiting on a process means waiting on its completion event."""
-        self.completion._wait(callback)
+        """Register ``callback(process)``; runs (via the lane) once done."""
+        if self._completion is not None:
+            self._completion._wait(callback)
+        elif self._status != _PENDING:
+            self.engine.call_soon(callback, self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
+        else:
+            self._callbacks.append(callback)
+
+    def _finish(self, status: int, value: Any) -> None:
+        self._status = status
+        self._value = value
+        if self._completion is not None:
+            if status == _SUCCEEDED:
+                self._completion.succeed(value)
+            else:
+                self._completion.fail(value)
+        elif self._callbacks:
+            callbacks = self._callbacks
+            self._callbacks = None
+            engine = self.engine  # inlined call_soon
+            imm = engine._immediate
+            now = engine.now
+            seq = engine._seq
+            for cb in callbacks:
+                imm.append((now, next(seq), cb, self))
 
     def _step(self, fired: Optional[SimEvent]) -> None:
         try:
             if fired is None:
-                target = self._generator.send(None)
-            elif fired.failed:
+                target = self._send(None)
+            elif fired._status == _FAILED:
                 target = self._generator.throw(fired.value)
             else:
-                target = self._generator.send(fired.value)
+                target = self._send(fired.value)
         except StopIteration as stop:
-            self.completion.succeed(stop.value)
+            self._finish(_SUCCEEDED, stop.value)
             return
         except BaseException as exc:
-            if self.completion.has_waiters:
-                self.completion.fail(exc)
+            if self._callbacks or (
+                self._completion is not None and self._completion.has_waiters
+            ):
+                self._finish(_FAILED, exc)
                 return
             raise SimulationError(
                 f"unhandled exception in simulated process {self.name!r}"
             ) from exc
-        if not hasattr(target, "_wait"):
+        try:
+            wait = target._wait
+        except AttributeError:
             raise SimulationError(
                 f"process {self.name!r} yielded non-waitable {target!r}"
-            )
-        target._wait(self._step)
+            ) from None
+        wait(self._step_cb)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "done"

@@ -62,6 +62,14 @@ class SimMutex:
         """Total virtual time threads spent blocked on this mutex."""
         return self._resource.total_wait_time
 
+    def abandon_waiters(self) -> int:
+        """Mark every thread parked on the mutex dead (crash cleanup).
+
+        Returns how many live waiters were abandoned. Delegates to
+        :meth:`repro.sim.resources.Resource.abandon_waiters`.
+        """
+        return self._resource.abandon_waiters()
+
     def lock(self):
         """Generator helper: pay the lock overhead, then wait for the mutex."""
         if self.lock_overhead > 0:

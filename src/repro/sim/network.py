@@ -17,11 +17,13 @@ their memory cost, if any, is charged by the layer that owns the data
 from __future__ import annotations
 
 import itertools
+import sys
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.obs.registry import NULL_METRICS, MetricsRegistry
 from repro.sim.engine import Engine, Process, SimEvent
 from repro.sim.resources import Resource
+from repro.sim.timeline import KIND_NET, TimelineTimer
 from repro.util.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -135,6 +137,15 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0.0
         self.remote_messages = 0
+        #: recycled wire-latency timeline channels — a transfer borrows
+        #: one for its lifetime, so the pool size tracks the peak number
+        #: of concurrent remote transfers
+        self._timer_pool: list[TimelineTimer] = []
+        #: wire bytes of duplicated transmissions: a ``dup`` fate crosses
+        #: the receiver's RX channel twice, and the second crossing is
+        #: counted here (never in ``bytes_sent``), so NIC occupancy
+        #: reconciles with the byte counters under fault sweeps
+        self.dup_bytes = 0.0
 
     def register(self, node: "Node") -> None:
         """Attach a node; its id must be unique within the network."""
@@ -172,7 +183,10 @@ class Network:
         if (inbox is None) == (on_deliver is None):
             raise SimulationError("send() needs exactly one of inbox/on_deliver")
         message = Message(
-            next(self._seq), src, dst, size_bytes, payload, tag, self.engine.now
+            # tags repeat per task class / array; interning keeps one
+            # string alive however many messages carry it
+            next(self._seq), src, dst, size_bytes, payload, sys.intern(tag),
+            self.engine.now,
         )
         self.messages_sent += 1
         self.bytes_sent += size_bytes
@@ -190,8 +204,13 @@ class Network:
             return _LocalDelivery(
                 self.engine, message, self.node(dst), inbox, on_deliver
             )
-        return self.engine.process(
-            self._transfer(message, inbox, on_deliver), name=f"xfer:{tag}#{message.seq}"
+        # the interned tag alone names the process: per-message f-string
+        # names cost an allocation on every remote send and only ever
+        # surface in debugging repr()s
+        return Process(
+            self.engine,
+            self._transfer(message, inbox, on_deliver),
+            name=message.tag or "xfer",
         )
 
     def _transfer(self, message: Message, inbox: Optional[str], on_deliver):
@@ -200,52 +219,69 @@ class Network:
         dst_node = self.node(message.dst)
         metrics = self.metrics
         wire = self.machine.wire_time(message.size_bytes)
+        # wire latency (and fault backoff) ride a pooled timeline channel:
+        # arm + lane hop consumes the same two sequence numbers the old
+        # Timeout did (schedule + call_soon), with no per-hop allocation
+        pool = self._timer_pool
+        timer = pool.pop() if pool else self.engine.timeline.timer(KIND_NET)
+        latency = self.machine.net_latency_s
         attempt = 0
-        while True:
-            if metrics.enabled:
-                metrics.gauge_max(
-                    "nic.backlog.hwm",
-                    src_node.nic.tx_backlog,
-                    node=message.src,
-                    dir="tx",
-                )
-            yield from src_node.nic.tx.use(wire)
-            fate = "ok"
-            if self.faults is not None:
-                fate = self.faults.plan.message_fate(
-                    message.tag, message.seq, attempt
-                )
-            if fate == "drop":
-                # lost on the wire: wait out the ack timeout
-                # (exponential backoff), then retransmit
-                report = self.faults.report
-                report.messages_dropped += 1
-                report.retransmits += 1
+        try:
+            while True:
                 if metrics.enabled:
-                    metrics.inc("net.retransmits")
-                backoff = self.faults.plan.backoff(attempt)
-                report.recovery_overhead_s += backoff
-                yield self.engine.timeout(backoff)
-                attempt += 1
-                continue
-            if fate == "delay":
-                self.faults.report.messages_delayed += 1
-                yield self.engine.timeout(self.faults.plan.msg_delay_s)
-            yield self.engine.timeout(self.machine.net_latency_s)
-            if metrics.enabled:
-                metrics.gauge_max(
-                    "nic.backlog.hwm",
-                    dst_node.nic.rx_backlog,
-                    node=message.dst,
-                    dir="rx",
-                )
-            yield from dst_node.nic.rx.use(wire)
-            if fate == "dup":
-                # the duplicate also crosses the receiver's NIC, then
-                # is discarded by sequence number (exactly-once)
-                self.faults.report.messages_duplicated += 1
+                    metrics.gauge_max(
+                        "nic.backlog.hwm",
+                        src_node.nic.tx_backlog,
+                        node=message.src,
+                        dir="tx",
+                    )
+                yield from src_node.nic.tx.use(wire)
+                fate = "ok"
+                if self.faults is not None:
+                    fate = self.faults.plan.message_fate(
+                        message.tag, message.seq, attempt
+                    )
+                if fate == "drop":
+                    # lost on the wire: wait out the ack timeout
+                    # (exponential backoff), then retransmit
+                    report = self.faults.report
+                    report.messages_dropped += 1
+                    report.retransmits += 1
+                    if metrics.enabled:
+                        metrics.inc("net.retransmits")
+                    backoff = self.faults.plan.backoff(attempt)
+                    report.recovery_overhead_s += backoff
+                    yield timer.after(backoff)
+                    attempt += 1
+                    continue
+                if fate == "delay":
+                    self.faults.report.messages_delayed += 1
+                    yield timer.after(self.faults.plan.msg_delay_s)
+                yield timer.after(latency)
+                if metrics.enabled:
+                    metrics.gauge_max(
+                        "nic.backlog.hwm",
+                        dst_node.nic.rx_backlog,
+                        node=message.dst,
+                        dir="rx",
+                    )
                 yield from dst_node.nic.rx.use(wire)
-            break
+                if fate == "dup":
+                    # the duplicate also crosses the receiver's NIC, then
+                    # is discarded by sequence number (exactly-once)
+                    self.faults.report.messages_duplicated += 1
+                    self.dup_bytes += message.size_bytes
+                    if metrics.enabled:
+                        metrics.inc("net.dup_bytes", message.size_bytes)
+                    yield from dst_node.nic.rx.use(wire)
+                break
+        finally:
+            # return the channel to the pool even if the generator is
+            # torn down mid-flight (engine drained with transfers open);
+            # disarm covers the torn-down-while-parked case so the next
+            # borrower finds the channel clean
+            self.engine.timeline.disarm(timer.slot)
+            pool.append(timer)
         if on_deliver is not None:
             on_deliver(message)
         else:

@@ -73,7 +73,7 @@ class Store:
 
     def get(self) -> SimEvent:
         """Event that fires with the next item (immediately if available)."""
-        event = self.engine.event()
+        event = SimEvent(self.engine)  # direct: skips the event() frame
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -119,7 +119,7 @@ class LifoStore:
 
     def get(self) -> SimEvent:
         """Event that fires with the newest item (immediately if any)."""
-        event = self.engine.event()
+        event = SimEvent(self.engine)  # direct: skips the event() frame
         if self._items:
             event.succeed(self._items.pop())
         else:
@@ -167,7 +167,7 @@ class PriorityStore:
 
     def get(self) -> SimEvent:
         """Event firing with the highest-priority available item."""
-        event = self.engine.event()
+        event = SimEvent(self.engine)  # direct: skips the event() frame
         if self._heap:
             event.succeed(heapq.heappop(self._heap)[2])
         else:

@@ -11,19 +11,34 @@ Two service disciplines cover everything the reproduction needs:
   the original NWChem code's scaling taper off around seven cores per
   node in the Figure 9 reproduction: SORT and accumulate traffic from
   many ranks divides a fixed byte rate.
+
+Both hot paths run on the engine's :class:`~repro.sim.timeline.BatchedTimeline`:
+capacity-1 resource holds arm a reusable PERSISTENT channel instead of
+allocating a ``Timeout``, and bandwidth rescheduling re-arms a DIRECT
+channel instead of cancelling and re-pushing a ``ScheduledCall`` per
+transfer arrival. Sequence numbers are consumed at exactly the points
+the legacy objects consumed them, so virtual timings are bitwise
+unchanged (see DESIGN.md §6).
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Optional
 
-from repro.sim.engine import Engine, SimEvent, ScheduledCall
+import numpy as np
+
+from repro.sim.engine import Engine, SimEvent
+from repro.sim.timeline import KIND_BANDWIDTH, KIND_RESOURCE, TimelineTimer
 from repro.util.errors import SimulationError
 from repro.util.validation import check_positive
 
 __all__ = ["Resource", "BandwidthResource"]
+
+#: job count at which BandwidthResource switches its per-tick charge
+#: from a list comprehension to a numpy bulk subtract (elementwise
+#: float64 ops are bitwise-identical either way)
+_BULK_JOBS = 32
 
 
 class Resource:
@@ -31,7 +46,22 @@ class Resource:
 
     ``acquire()`` returns a :class:`SimEvent` to ``yield`` on; pair every
     successful acquire with exactly one ``release()``.
+
+    A waiter whose process died (fault-killed worker, drained scheduler)
+    is *abandoned* — :meth:`release` skips it instead of granting a slot
+    to a corpse, mirroring what ``Store.put`` does for dead getters.
     """
+
+    __slots__ = (
+        "engine",
+        "capacity",
+        "name",
+        "_in_use",
+        "_waiters",
+        "_hold_timer",
+        "total_acquisitions",
+        "total_wait_time",
+    )
 
     def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -41,6 +71,9 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: deque[tuple[SimEvent, float]] = deque()
+        # lazily-opened timeline channel for capacity-1 hold durations
+        # (at most one holder, hence at most one outstanding timeout)
+        self._hold_timer: Optional[TimelineTimer] = None
         # statistics
         self.total_acquisitions = 0
         self.total_wait_time = 0.0
@@ -67,37 +100,79 @@ class Resource:
         return event
 
     def release(self) -> None:
-        """Return a slot, waking the oldest waiter if any."""
+        """Return a slot, waking the oldest *live* waiter if any.
+
+        Abandoned or already-triggered waiter events are skipped — a
+        grant delivered to a fault-killed process would leak the slot
+        and deadlock the channel (the NIC, under chaos).
+        """
         if self._in_use <= 0:
             raise SimulationError(f"release() of un-acquired resource {self.name!r}")
-        if self._waiters:
-            waiter, enqueued_at = self._waiters.popleft()
+        waiters = self._waiters
+        while waiters:
+            waiter, enqueued_at = waiters.popleft()
+            if waiter.abandoned or waiter.triggered:
+                continue
             self.total_acquisitions += 1
             self.total_wait_time += self.engine.now - enqueued_at
             waiter.succeed()
-        else:
-            self._in_use -= 1
+            return
+        self._in_use -= 1
+
+    def abandon_waiters(self) -> int:
+        """Mark every pending waiter dead; returns how many were live.
+
+        For drain paths (``NodeScheduler.drain``): processes parked on
+        this resource will never resume, so their grants must never
+        fire.
+        """
+        live = 0
+        for waiter, _ in self._waiters:
+            if not waiter.abandoned and not waiter.triggered:
+                waiter.abandon()
+                live += 1
+        self._waiters.clear()
+        return live
 
     def use(self, duration: float):
         """Generator helper: hold one slot for ``duration`` virtual seconds.
 
-        Use as ``yield from resource.use(dt)`` inside a process.
+        Use as ``yield from resource.use(dt)`` inside a process. The
+        grant path is crash-safe: if the enclosing process is killed
+        while parked on the grant — or between the grant firing and the
+        body resuming — the slot is released (or the pending grant
+        abandoned) instead of leaking.
         """
-        yield self.acquire()
+        engine = self.engine
+        if self._in_use < self.capacity:
+            # Uncontended fast path: take the slot now, synchronously —
+            # no SimEvent, no lane hop. The grant instant is the same
+            # either way; only the same-instant interleaving differs,
+            # and the golden digests pin that it is not observable.
+            self._in_use += 1
+            self.total_acquisitions += 1
+            held = True
+            grant = None
+        else:
+            grant = engine.event()
+            self._waiters.append((grant, engine.now))
+            held = False
         try:
-            yield self.engine.timeout(duration)
+            if grant is not None:
+                yield grant
+                held = True
+            if self.capacity == 1:
+                timer = self._hold_timer
+                if timer is None:
+                    timer = self._hold_timer = engine.timeline.timer(KIND_RESOURCE)
+                yield timer.after(duration)
+            else:
+                yield engine.timeout(duration)
         finally:
-            self.release()
-
-
-class _PSJob:
-    __slots__ = ("remaining", "event", "start_time", "size")
-
-    def __init__(self, remaining: float, event: SimEvent, start_time: float) -> None:
-        self.remaining = remaining
-        self.size = remaining
-        self.event = event
-        self.start_time = start_time
+            if held or (grant is not None and grant.triggered):
+                self.release()
+            elif grant is not None:
+                grant.abandon()
 
 
 class BandwidthResource:
@@ -108,9 +183,29 @@ class BandwidthResource:
     second. The returned event fires when the job's work is done. This
     gives exact egalitarian sharing, the usual first-order model for a
     memory controller shared by symmetric cores.
+
+    Jobs live in struct-of-arrays columns (remaining, original size,
+    completion event) so the per-arrival charge is one bulk subtract,
+    and the single wakeup rides a DIRECT timeline channel: every
+    arrival re-arms the channel instead of cancelling and re-pushing a
+    ``ScheduledCall``.
     """
 
     _EPS = 1e-12
+
+    __slots__ = (
+        "engine",
+        "capacity",
+        "per_job_cap",
+        "name",
+        "_rem",
+        "_size",
+        "_events",
+        "_last_update",
+        "_wake_slot",
+        "total_work",
+        "busy_time",
+    )
 
     def __init__(
         self,
@@ -126,10 +221,14 @@ class BandwidthResource:
         self.capacity = capacity
         self.per_job_cap = per_job_cap
         self.name = name
-        self._jobs: list[_PSJob] = []
+        # struct-of-arrays job columns
+        self._rem: list[float] = []
+        self._size: list[float] = []
+        self._events: list[SimEvent] = []
         self._last_update = engine.now
-        self._wakeup: Optional[ScheduledCall] = None
-        self._seq = itertools.count()
+        self._wake_slot = engine.timeline.open(
+            KIND_BANDWIDTH, callback=self._on_wakeup
+        )
         # statistics
         self.total_work = 0.0
         self.busy_time = 0.0
@@ -137,7 +236,7 @@ class BandwidthResource:
     @property
     def active_jobs(self) -> int:
         """Number of jobs currently being served."""
-        return len(self._jobs)
+        return len(self._rem)
 
     def transfer(self, amount: float) -> SimEvent:
         """Inject ``amount`` work units; event fires at completion.
@@ -151,7 +250,9 @@ class BandwidthResource:
             event.succeed()
             return event
         self._advance()
-        self._jobs.append(_PSJob(amount, event, self.engine.now))
+        self._rem.append(amount)
+        self._size.append(amount)
+        self._events.append(event)
         self.total_work += amount
         self._reschedule()
         return event
@@ -164,7 +265,7 @@ class BandwidthResource:
         cannot saturate the whole memory controller, so a lone job gets
         ``per_job_cap`` while many concurrent jobs share ``capacity``.
         """
-        share = self.capacity / len(self._jobs)
+        share = self.capacity / len(self._rem)
         if self.per_job_cap is not None:
             return min(share, self.per_job_cap)
         return share
@@ -174,47 +275,76 @@ class BandwidthResource:
         now = self.engine.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._jobs:
+        if dt <= 0 or not self._rem:
             return
         self.busy_time += dt
-        served = dt * self._rate()
-        for job in self._jobs:
-            job.remaining -= served
+        rem = self._rem
+        # inlined _rate() — this runs once per transfer arrival
+        share = self.capacity / len(rem)
+        cap = self.per_job_cap
+        if cap is not None and cap < share:
+            share = cap
+        served = dt * share
+        if len(rem) >= _BULK_JOBS:
+            # elementwise float64 subtract matches the scalar loop bit
+            # for bit; tolist() restores plain Python floats before the
+            # values can reach the virtual clock
+            self._rem = np.subtract(rem, served).tolist()
+        else:
+            self._rem = [r - served for r in rem]
 
     def _reschedule(self) -> None:
-        if self._wakeup is not None:
-            self._wakeup.cancel()
-            self._wakeup = None
-        if not self._jobs:
+        timeline = self.engine.timeline
+        rem = self._rem
+        if not rem:
+            timeline.disarm(self._wake_slot)
             return
-        min_remaining = min(job.remaining for job in self._jobs)
-        delay = max(0.0, min_remaining / self._rate())
-        self._wakeup = self.engine.schedule(delay, self._on_wakeup)
+        share = self.capacity / len(rem)  # inlined _rate()
+        cap = self.per_job_cap
+        if cap is not None and cap < share:
+            share = cap
+        delay = max(0.0, min(rem) / share)
+        timeline.rearm(self._wake_slot, delay)
 
     def _on_wakeup(self) -> None:
-        self._wakeup = None
         self._advance()
-        if not self._jobs:
+        if not self._rem:
             return
-        rate = self._rate()
+        rate = self.capacity / len(self._rem)  # inlined _rate()
+        cap = self.per_job_cap
+        if cap is not None and cap < rate:
+            rate = cap
         now = self.engine.now
-        finished = [
-            j
-            for j in self._jobs
-            if j.remaining <= self._EPS * j.size
-            # residual so small its completion delay underflows the
-            # float clock (now + delay == now): finishing it now is the
-            # only way time can advance
-            or now + j.remaining / rate == now
-        ]
+        rem = self._rem
+        size = self._size
+        events = self._events
+        eps = self._EPS
+        finished: list[SimEvent] = []
+        keep_r: list[float] = []
+        keep_s: list[float] = []
+        keep_e: list[SimEvent] = []
+        for i, r in enumerate(rem):
+            if (
+                r <= eps * size[i]
+                # residual so small its completion delay underflows the
+                # float clock (now + delay == now): finishing it now is
+                # the only way time can advance
+                or now + r / rate == now
+            ):
+                finished.append(events[i])
+            else:
+                keep_r.append(r)
+                keep_s.append(size[i])
+                keep_e.append(events[i])
         if not finished:
             # Numerical drift; just reschedule for the residual.
             self._reschedule()
             return
-        done = set(map(id, finished))
-        self._jobs = [j for j in self._jobs if id(j) not in done]
-        for job in finished:
-            job.event.succeed()
+        self._rem = keep_r
+        self._size = keep_s
+        self._events = keep_e
+        for event in finished:
+            event.succeed()
         self._reschedule()
 
     def utilization(self, horizon: Optional[float] = None) -> float:

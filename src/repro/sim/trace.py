@@ -42,9 +42,13 @@ class TaskCategory(str, Enum):
         return self in (TaskCategory.COMM, TaskCategory.READ_A, TaskCategory.READ_B)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One closed span on one simulated thread."""
+    """One closed span on one simulated thread.
+
+    ``slots=True``: traced runs record one of these per task/comm span,
+    so the per-instance ``__dict__`` is worth eliminating.
+    """
 
     node: int
     thread: int

@@ -12,6 +12,7 @@ WRITE_C tasks of the paper's Figure 8.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, Optional
 
 import numpy as np
@@ -47,6 +48,7 @@ class BlockLayout:
         self._tile_lists: list[tuple[Tile, ...]] = [space.tiles(k) for k in dims]
         self._offsets: dict[BlockKey, int] = {}
         self._shapes: dict[BlockKey, tuple[int, ...]] = {}
+        self._sizes: dict[BlockKey, int] = {}
         cursor = 0
         for key in self._iter_keys():
             if keep is not None and not keep(key):
@@ -56,7 +58,9 @@ class BlockLayout:
             )
             self._offsets[key] = cursor
             self._shapes[key] = shape
-            cursor += int(np.prod(shape))
+            size = math.prod(shape)
+            self._sizes[key] = size
+            cursor += size
         self.total = cursor
 
     def _iter_keys(self) -> Iterable[BlockKey]:
@@ -86,7 +90,12 @@ class BlockLayout:
 
     def block_size(self, key: BlockKey) -> int:
         """Element count of one stored block."""
-        return int(np.prod(self.block_shape(key)))
+        try:
+            return self._sizes[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"block {key} not stored in layout {self.dims}"
+            ) from None
 
     def block_range(self, key: BlockKey) -> tuple[int, int]:
         """Flat ``[lo, hi)`` element range of one stored block."""

@@ -96,6 +96,89 @@ class TestResource:
         resource.acquire()
         assert resource.queue_length == 2
 
+    def test_release_skips_abandoned_waiter(self, engine):
+        """Regression: a grant must never go to a dead waiter.
+
+        Pre-fix, release() granted the slot to whichever waiter was
+        oldest — including one whose process had been killed. The
+        abandoned event never resumed anybody, so the slot leaked and
+        every later waiter deadlocked.
+        """
+        resource = Resource(engine, capacity=1)
+        resource.acquire()  # holder
+        dead = resource.acquire()  # will be killed while parked
+        live = resource.acquire()
+        dead.abandon()
+        resource.release()
+        assert not dead.triggered
+        assert live.triggered  # the live waiter got the slot...
+        assert resource.in_use == 1  # ...and the slot did not leak
+        resource.release()
+        assert resource.in_use == 0
+
+    def test_release_skips_already_triggered_waiter(self, engine):
+        """A waiter event that somehow fired early is not granted twice."""
+        resource = Resource(engine, capacity=1)
+        resource.acquire()
+        raced = resource.acquire()
+        live = resource.acquire()
+        raced.succeed()  # fired outside the grant path
+        resource.release()
+        assert live.triggered
+        assert resource.in_use == 1
+
+    def test_release_with_only_dead_waiters_frees_the_slot(self, engine):
+        resource = Resource(engine, capacity=1)
+        resource.acquire()
+        resource.acquire().abandon()
+        resource.release()
+        assert resource.in_use == 0
+        assert resource.acquire().triggered  # fresh acquire is immediate
+
+    def test_abandon_waiters_counts_live_only(self, engine):
+        resource = Resource(engine, capacity=1)
+        resource.acquire()
+        first = resource.acquire()
+        resource.acquire()
+        first.abandon()
+        assert resource.abandon_waiters() == 1
+        assert resource.queue_length == 0
+        resource.release()
+        assert resource.in_use == 0  # no waiter left to grant to
+
+    def test_use_releases_slot_when_parked_grantee_dies(self, engine):
+        """Crash-safety of use(): a waiter torn down while parked on the
+        grant abandons it, so release() skips the corpse."""
+        resource = Resource(engine, capacity=1)
+        progressed = []
+
+        def holder():
+            yield from resource.use(2.0)
+
+        def doomed():
+            yield from resource.use(1.0)
+            progressed.append("doomed")  # must never run
+
+        engine.process(holder())
+        victim = engine.process(doomed())
+        engine.run(until=1.0)
+        assert resource.queue_length == 1
+        victim._generator.close()  # kill the parked process
+        engine.run()
+        assert progressed == []
+        assert resource.in_use == 0
+
+    def test_use_releases_slot_when_killed_between_grant_and_resume(self, engine):
+        """The grant fired but the grantee died before resuming: the
+        use() teardown path must give the slot back."""
+        resource = Resource(engine, capacity=1)
+        body = resource.use(3.0)
+        first = next(body)  # uncontended: parks on the hold timer
+        assert resource.in_use == 1
+        body.close()  # teardown mid-hold
+        assert resource.in_use == 0
+        assert first is not None
+
 
 class TestBandwidthResource:
     def test_single_job_duration(self, engine):

@@ -1,0 +1,240 @@
+"""Unit tests for the BatchedTimeline array-backed event store.
+
+The load-bearing property is the merge rule of DESIGN.md §6: timeline
+rows, heap entries, and immediate-lane entries all draw from the one
+shared sequence counter and drain in global ``(time, seq)`` order, so a
+producer converted to the timeline fires in *exactly* the position its
+heap-based ``Timeout``/``ScheduledCall`` equivalent would have. The
+equivalence tests here run the same scenario both ways and assert the
+observed orderings and clock readings are identical.
+"""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.timeline import (
+    DIRECT,
+    KIND_COMM,
+    KIND_TASK,
+    PERSISTENT,
+    TimelineTimer,
+)
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+# ----------------------------------------------------------------------
+# merge equivalence against the plain heapq path
+# ----------------------------------------------------------------------
+class TestMergeEquivalence:
+    """Identical scenarios through heapq Timeouts vs timeline timers."""
+
+    def _run_heap(self, delays):
+        """Reference: every wait is a plain heap-scheduled Timeout."""
+        engine = Engine()
+        order = []
+
+        def proc(tag, waits):
+            for i, d in enumerate(waits):
+                yield engine.timeout(d)
+                order.append((tag, i, engine.now))
+
+        for tag, waits in delays.items():
+            engine.process(proc(tag, waits), name=tag)
+        end = engine.run()
+        return order, end
+
+    def _run_timeline(self, delays):
+        """Same scenario, every wait through a PERSISTENT timeline timer."""
+        engine = Engine()
+        order = []
+
+        def proc(tag, waits):
+            timer = engine.timeline.timer(KIND_TASK)
+            for i, d in enumerate(waits):
+                yield timer.after(d)
+                order.append((tag, i, engine.now))
+
+        for tag, waits in delays.items():
+            engine.process(proc(tag, waits), name=tag)
+        end = engine.run()
+        return order, end
+
+    def test_zero_delay_merge_matches_heap(self):
+        # all events at t=0: ordering is decided purely by seq draws
+        delays = {"a": [0.0, 0.0, 0.0], "b": [0.0, 0.0], "c": [0.0]}
+        assert self._run_heap(delays) == self._run_timeline(delays)
+
+    def test_nonzero_delay_merge_matches_heap(self):
+        delays = {
+            "a": [0.5, 0.25, 0.25],
+            "b": [0.25, 0.5, 0.25],
+            "c": [1.0],
+        }
+        assert self._run_heap(delays) == self._run_timeline(delays)
+
+    def test_mixed_zero_and_nonzero_ties_match_heap(self):
+        # deliberate (time, seq) ties: a and b collide at t=0.25 and 0.5
+        delays = {
+            "a": [0.25, 0.25, 0.0],
+            "b": [0.25, 0.0, 0.25],
+        }
+        assert self._run_heap(delays) == self._run_timeline(delays)
+
+    def test_timeline_interleaves_with_live_heap_events(self):
+        """A timeline row between two heap Timeouts fires in between."""
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, order.append, "heap@1")
+        slot = engine.timeline.open(
+            # PERSISTENT resumes are lane hops carrying None, so the
+            # parked continuation takes one argument
+            KIND_TASK,
+            callback=lambda _=None: order.append("timeline@2"),
+        )
+        engine.timeline.arm(slot, 2.0)
+        engine.schedule(3.0, order.append, "heap@3")
+        engine.run()
+        # PERSISTENT fires hop through the lane but the clock does not
+        # advance past pending heap entries, so order is by arm time
+        assert order == ["heap@1", "timeline@2", "heap@3"]
+
+    def test_direct_mode_matches_schedule(self):
+        """DIRECT rows fire like ScheduledCalls: no extra seq, in place."""
+
+        def scenario(use_timeline):
+            engine = Engine()
+            order = []
+            if use_timeline:
+                kind = engine.timeline.register_kind("test-direct", DIRECT)
+                slot = engine.timeline.open(
+                    kind, callback=lambda: order.append(("d", engine.now))
+                )
+                engine.timeline.arm(slot, 1.0)
+            else:
+                engine.schedule(1.0, lambda: order.append(("d", engine.now)))
+            engine.schedule(1.0, lambda: order.append(("after", engine.now)))
+            engine.run()
+            return order
+
+        assert scenario(False) == scenario(True)
+
+
+# ----------------------------------------------------------------------
+# channel lifecycle
+# ----------------------------------------------------------------------
+class TestChannels:
+    def test_rearm_while_armed_is_rejected(self, engine):
+        timer = engine.timeline.timer(KIND_TASK)
+        timer.after(1.0)
+        with pytest.raises(SimulationError, match="re-armed while armed"):
+            timer.after(1.0)
+
+    def test_negative_delay_rejected(self, engine):
+        timer = engine.timeline.timer(KIND_TASK)
+        with pytest.raises(SimulationError, match="negative delay"):
+            timer.after(-0.5)
+
+    def test_disarm_cancels_pending_row(self, engine):
+        fired = []
+        slot = engine.timeline.open(
+            KIND_TASK, callback=lambda _=None: fired.append(1)
+        )
+        engine.timeline.arm(slot, 1.0)
+        engine.timeline.disarm(slot)
+        engine.run()
+        assert fired == []
+        assert engine.timeline.stale_dropped == 1
+
+    def test_rearm_replaces_pending_row(self, engine):
+        times = []
+        slot = engine.timeline.open(
+            KIND_TASK, callback=lambda _=None: times.append(engine.now)
+        )
+        engine.timeline.arm(slot, 5.0)
+        engine.timeline.rearm(slot, 1.0)
+        engine.run()
+        assert times == [1.0]
+
+    def test_close_recycles_the_slot(self, engine):
+        timeline = engine.timeline
+        timer = timeline.timer(KIND_TASK)
+        first_slot = timer.slot
+        timer.after(1.0)
+        timer.close()  # armed row goes stale, slot freed
+        again = timeline.timer(KIND_COMM)
+        assert again.slot == first_slot
+        assert timeline.channels == 1
+        engine.run()
+        assert timeline.fired_total == 0
+
+    def test_timer_yields_resume_with_none(self, engine):
+        """PERSISTENT resume carries None, like a default Timeout."""
+        seen = []
+
+        def proc():
+            timer = engine.timeline.timer(KIND_TASK)
+            value = yield timer.after(0.5)
+            seen.append(value)
+
+        engine.process(proc())
+        engine.run()
+        assert seen == [None]
+
+    def test_arm_batch_matches_sequential_arms(self):
+        """One vectorized arm_batch drains identically to an arm() loop."""
+
+        def scenario(batched):
+            engine = Engine()
+            fired = []
+            slots = [
+                engine.timeline.open(
+                    KIND_TASK,
+                    callback=lambda _=None, i=i: fired.append((i, engine.now)),
+                )
+                for i in range(6)
+            ]
+            delays = [0.3, 0.1, 0.2, 0.1, 0.3, 0.2]
+            if batched:
+                engine.timeline.arm_batch(slots, delays)
+            else:
+                for slot, delay in zip(slots, delays):
+                    engine.timeline.arm(slot, delay)
+            engine.run()
+            return fired
+
+        assert scenario(False) == scenario(True)
+
+    def test_counts_by_kind_reports_live_rows(self, engine):
+        timeline = engine.timeline
+        a = timeline.timer(KIND_TASK)
+        b = timeline.timer(KIND_COMM)
+        a.after(1.0)
+        b.after(2.0)
+        timeline.disarm(b.slot)
+        assert timeline.counts_by_kind() == {"task": 1}
+
+    def test_persistent_is_default_mode(self, engine):
+        kind = engine.timeline.register_kind("extra")
+        assert engine.timeline._kind_modes[kind] == PERSISTENT
+
+    def test_timer_aliases_survive_compaction(self, engine):
+        """Cached heap/column aliases stay valid across _compact()."""
+        timeline = engine.timeline
+        timer = timeline.timer(KIND_TASK)
+        assert isinstance(timer, TimelineTimer)
+        churn = [timeline.timer(KIND_TASK) for _ in range(80)]
+        for t in churn:
+            t.after(5.0)
+        for t in churn:
+            timeline.disarm(t.slot)  # 80 stale rows force a compaction
+        assert timeline.pending < 80
+        fired = []
+        timeline._chan_cb[timer.slot] = lambda _=None: fired.append(engine.now)
+        timer.after(1.0)
+        engine.run()
+        assert fired == [1.0]

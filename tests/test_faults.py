@@ -174,6 +174,17 @@ class TestTransportFaults:
         assert len(got) == 20  # duplicates discarded by sequence number
         assert injector.report.messages_delayed > 0
         assert injector.report.messages_duplicated > 0
+        # duplicate-byte reconciliation: the second RX crossing of a
+        # duplicated message is charged to net.dup_bytes, never to
+        # bytes_sent — so payload accounting and wire accounting agree
+        net = cluster.network
+        assert net.dup_bytes == 64.0 * injector.report.messages_duplicated
+        assert net.bytes_sent == 64.0 * 20
+        assert cluster.metrics.counter_value("net.dup_bytes") == net.dup_bytes
+        wire_rx_bytes = net.bytes_sent + net.dup_bytes
+        assert wire_rx_bytes == cluster.metrics.counter_value("net.bytes") + (
+            net.dup_bytes
+        )
 
     def test_local_messages_bypass_faults(self):
         cluster = _cluster(n_nodes=2)
