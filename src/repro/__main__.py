@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 #: the run completed and every evaluated check passed (or the run was
 #: informational at its scale)
@@ -192,10 +193,36 @@ def cmd_ablations(args: argparse.Namespace) -> int:
         compare_load_balancing,
         compare_scheduler_policies,
         compare_work_stealing,
+        run_comm_ablation,
         sweep_priority_offsets,
         sweep_segment_height,
         sweep_write_organization,
     )
+
+    if args.comm:
+        comm_scale = "tiny" if args.scale in ("paper", "full") else args.scale
+        result = run_comm_ablation(workloads=args.workloads, scale=comm_scale)
+        table = result.table()
+        print(table)
+        if args.out:
+            Path(args.out).write_text(table + "\n")
+            print(f"table written to {args.out}")
+        if not result.all_equal:
+            print("FAIL: a knobs-on run diverged from the baseline output")
+            return EXIT_CHECK_FAILED
+        print("output equality: all knob combinations bitwise-equal to baseline")
+        for workload in args.workloads:
+            savings = result.message_savings(workload)
+            verdict = "ok"
+            if savings < args.min_message_savings:
+                verdict = f"FAIL (< {args.min_message_savings:.0%})"
+            print(f"{workload}: {savings:.1%} fewer wire messages [{verdict}]")
+        if any(
+            result.message_savings(w) < args.min_message_savings
+            for w in args.workloads
+        ):
+            return EXIT_CHECK_FAILED
+        return EXIT_OK
 
     print(
         format_table(
@@ -681,6 +708,32 @@ def main(argv: list[str] | None = None) -> int:
 
     p = subparsers.add_parser("ablations", help="design-decision sweeps")
     _add_scale(p)
+    p.add_argument(
+        "--comm",
+        action="store_true",
+        help="run only the one-sided comm knob matrix "
+        "(coalescing × remote-block cache) with bitwise equality checks",
+    )
+    p.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["t2_7", "ccsd", "rbgs"],
+        choices=["t2_7", "ccsd", "rbgs"],
+        help="workloads for the --comm matrix (default: all three)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="also write the --comm table to this file (CI artifact)",
+    )
+    p.add_argument(
+        "--min-message-savings",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fail unless every --comm workload cuts wire messages by "
+        "at least this fraction with both knobs on (e.g. 0.20)",
+    )
     p.set_defaults(func=cmd_ablations)
 
     p = subparsers.add_parser("chaos", help="fault-injection recovery sweep")

@@ -33,12 +33,14 @@ from typing import Optional, Union
 from repro.core.inspector import InspectionCache, inspect_subroutine
 from repro.core.ptg_build import build_ccsd_ptg
 from repro.core.variants import V5, VariantSpec, variant_by_name
+from repro.ga.cache import RemoteCachePolicy
 from repro.legacy.runtime import LegacyConfig, LegacyRuntime
 from repro.obs.result import RunResult
 from repro.parsec.runtime import ParsecRuntime
 from repro.parsec.stealing import StealPolicy
 from repro.sim.cluster import Cluster, ClusterConfig, DataMode
 from repro.sim.cost import MachineModel
+from repro.sim.network import CoalescePolicy
 from repro.tce.molecules import SCALE_PRESETS
 from repro.tce.t2_7 import T27Workload
 from repro.util.errors import ConfigurationError
@@ -114,6 +116,16 @@ class RunConfig:
     #: workload from a registry token.
     skew_factor: int = 1
     skew_period: int = 0
+    #: Comm optimization: per-destination message coalescing on the NIC
+    #: (GA fetch requests and PaRSEC dataflow sends). None = off — the
+    #: wire behavior the golden digests pin. Only applies when the
+    #: facade builds the workload from a registry token; a pre-built
+    #: workload object brings its own GlobalArrays.
+    coalescing: Optional[CoalescePolicy] = None
+    #: Comm optimization: bounded per-node software cache of fetched
+    #: remote GA blocks, invalidated by write epochs. None = off. Token
+    #: path only, like ``coalescing``.
+    remote_cache: Optional[RemoteCachePolicy] = None
     #: PaRSEC: share inspected chain metadata across runs of the same
     #: workload structure + node count (the fig9 cores/node sweep). The
     #: phase timer still runs; only the redundant chain walk is skipped.
@@ -150,9 +162,20 @@ def _build_workload(token: str, config: RunConfig) -> Workload:
             DeprecationWarning,
             stacklevel=3,
         )
+    cluster = _build_cluster(config)
+    ga = None
+    if config.coalescing is not None or config.remote_cache is not None:
+        from repro.ga.runtime import GlobalArrays
+
+        ga = GlobalArrays(
+            cluster,
+            coalescing=config.coalescing,
+            remote_cache=config.remote_cache,
+        )
     return _build_registered_workload(
         token,
-        _build_cluster(config),
+        cluster,
+        ga,
         seed=config.seed,
         skew_factor=config.skew_factor,
         skew_period=config.skew_period,
@@ -290,7 +313,12 @@ def _run_parsec(cluster, levels, variant: VariantSpec, config: RunConfig):
             )
         with metrics.phase("ptg_build"):
             ptg = build_ccsd_ptg(variant, metadata)
-        prt = ParsecRuntime(cluster, policy=config.policy, stealing=config.stealing)
+        prt = ParsecRuntime(
+            cluster,
+            policy=config.policy,
+            stealing=config.stealing,
+            coalescing=config.coalescing,
+        )
         with metrics.phase("execution"):
             results.append(prt.execute(ptg, metadata, validate=config.validate))
     if len(results) == 1:

@@ -14,10 +14,14 @@
 - :func:`compare_work_stealing` — the static chain placement vs the
   inter-node steal layer (:mod:`repro.parsec.stealing`) on a skewed
   workload, across node counts.
+- :func:`run_comm_ablation` — the one-sided comm optimizations
+  (message coalescing × remote-block cache) across workloads, with the
+  bitwise output-equality check the knobs promise.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core import api
@@ -34,6 +38,9 @@ __all__ = [
     "compare_load_balancing",
     "compare_scheduler_policies",
     "compare_work_stealing",
+    "run_comm_ablation",
+    "CommAblationResult",
+    "CommCell",
 ]
 
 
@@ -207,3 +214,182 @@ def compare_work_stealing(
         row["speedup"] = row["static"] / row["stealing"]
         out[f"{n_nodes} nodes"] = row
     return out
+
+
+# ----------------------------------------------------------------------
+# one-sided comm optimizations (coalescing × remote-block cache)
+# ----------------------------------------------------------------------
+@dataclass
+class CommCell:
+    """One knob combination on one workload."""
+
+    workload: str
+    coalescing: bool
+    cache: bool
+    execution_time: float
+    wire_messages: int
+    bytes_fetched: float
+    cache_hits: int
+    cache_bytes_saved: float
+    coalesced_batches: int
+    messages_saved: int
+    output_equal: bool
+
+    @property
+    def label(self) -> str:
+        if self.coalescing and self.cache:
+            return "coalesce+cache"
+        if self.coalescing:
+            return "coalesce"
+        if self.cache:
+            return "cache"
+        return "baseline"
+
+
+@dataclass
+class CommAblationResult:
+    """The full knob matrix with per-workload baselines."""
+
+    scale: str
+    rows: list[CommCell]
+
+    @property
+    def all_equal(self) -> bool:
+        """Every knobs-on run reproduced the baseline output bitwise."""
+        return all(cell.output_equal for cell in self.rows)
+
+    def baseline(self, workload: str) -> CommCell:
+        for cell in self.rows:
+            if cell.workload == workload and not cell.coalescing and not cell.cache:
+                return cell
+        raise KeyError(f"no baseline cell for {workload!r}")
+
+    def message_savings(self, workload: str) -> float:
+        """Fractional wire-message reduction of the both-knobs cell."""
+        base = self.baseline(workload).wire_messages
+        for cell in self.rows:
+            if cell.workload == workload and cell.coalescing and cell.cache:
+                return 1.0 - cell.wire_messages / base if base else 0.0
+        raise KeyError(f"no coalesce+cache cell for {workload!r}")
+
+    def table(self) -> str:
+        """The comparison table (also what the CI artifact carries)."""
+        from repro.analysis.report import format_table
+
+        table_rows = []
+        for cell in self.rows:
+            base = self.baseline(cell.workload).wire_messages
+            reduction = 1.0 - cell.wire_messages / base if base else 0.0
+            table_rows.append(
+                [
+                    cell.workload,
+                    cell.label,
+                    f"{cell.execution_time:.6f}",
+                    f"{cell.wire_messages}",
+                    f"{reduction * 100:5.1f}%",
+                    f"{cell.bytes_fetched:.0f}",
+                    f"{cell.cache_hits}",
+                    f"{cell.coalesced_batches}",
+                    f"{cell.messages_saved}",
+                    "yes" if cell.output_equal else "NO",
+                ]
+            )
+        return format_table(
+            [
+                "workload",
+                "knobs",
+                "time (s)",
+                "wire msgs",
+                "reduction",
+                "bytes fetched",
+                "cache hits",
+                "batches",
+                "msgs saved",
+                "output equal",
+            ],
+            table_rows,
+            title=f"One-sided comm optimizations ({self.scale} scale, legacy runtime)",
+        )
+
+
+def _comm_cell(
+    workload: str,
+    scale: str,
+    n_nodes: int,
+    cores_per_node: int,
+    seed: int,
+    coalescing: bool,
+    cache: bool,
+):
+    """One run of the knob matrix; returns (cell sans equality, output)."""
+    from repro.experiments.calibration import make_cluster
+    from repro.ga.cache import RemoteCachePolicy
+    from repro.ga.runtime import GlobalArrays
+    from repro.sim.cluster import DataMode
+    from repro.sim.network import CoalescePolicy
+    from repro.workloads import build_workload
+
+    cluster = make_cluster(cores_per_node, n_nodes=n_nodes, data_mode=DataMode.REAL)
+    ga = GlobalArrays(
+        cluster,
+        coalescing=CoalescePolicy() if coalescing else None,
+        remote_cache=RemoteCachePolicy() if cache else None,
+    )
+    workload_obj = build_workload(f"{workload}:{scale}", cluster, ga, seed=seed)
+    # canonical accumulation order makes the FP sums bitwise-stable
+    # under the timing perturbation the knobs introduce — the same
+    # mechanism the chaos harness uses under fault delays
+    workload_obj.output.array.enable_ordered_accumulation()
+    result = api.run(workload_obj, runtime="legacy")
+    output = workload_obj.output.array.gather()
+    cell = CommCell(
+        workload=workload,
+        coalescing=coalescing,
+        cache=cache,
+        execution_time=result.execution_time,
+        wire_messages=cluster.network.remote_messages,
+        bytes_fetched=ga.bytes_fetched,
+        cache_hits=ga.cache_hits,
+        cache_bytes_saved=ga.cache_bytes_saved,
+        coalesced_batches=ga.coalesced_batches,
+        messages_saved=ga.messages_saved,
+        output_equal=True,
+    )
+    return cell, output
+
+
+def run_comm_ablation(
+    workloads: Sequence[str] = ("t2_7", "ccsd", "rbgs"),
+    scale: str = "tiny",
+    n_nodes: int = 4,
+    cores_per_node: int = 4,
+    seed: int = 7,
+) -> CommAblationResult:
+    """The knob matrix (coalescing × cache) over the given workloads.
+
+    Every cell runs the legacy runtime in REAL data mode and gathers
+    the workload's output array; ``output_equal`` records whether the
+    knobs-on bytes match the knobs-off baseline bit for bit. Uses the
+    legacy runtime because its blocking per-tile GETs are the traffic
+    pattern the knobs target (the paper's original-code regime).
+    """
+    import numpy as np
+
+    rows: list[CommCell] = []
+    for workload in workloads:
+        reference = None
+        for coalescing, cache in (
+            (False, False),
+            (True, False),
+            (False, True),
+            (True, True),
+        ):
+            cell, output = _comm_cell(
+                workload, scale, n_nodes, cores_per_node, seed, coalescing, cache
+            )
+            if reference is None:
+                reference = output
+            else:
+                cell.output_equal = bool(np.array_equal(reference, output))
+            rows.append(cell)
+    return CommAblationResult(scale=scale, rows=rows)

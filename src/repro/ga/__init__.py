@@ -28,6 +28,7 @@ occur but payloads are shape-only.
 
 from repro.ga.distribution import Distribution, Segment
 from repro.ga.array import GlobalArray
+from repro.ga.cache import RemoteBlockCache, RemoteCachePolicy
 from repro.ga.runtime import GlobalArrays
 from repro.ga.nxtval import NxtvalServer
 from repro.ga.sync import Barrier
@@ -40,6 +41,8 @@ __all__ = [
     "GlobalArrays",
     "NxtvalServer",
     "Barrier",
+    "RemoteBlockCache",
+    "RemoteCachePolicy",
     "get_hash_block",
     "add_hash_block",
 ]

@@ -19,6 +19,11 @@ from repro.util.errors import GlobalArrayError
 
 __all__ = ["GlobalArray"]
 
+#: Write-log compaction threshold: past this many entries the oldest
+#: half is dropped and the base epoch advances, so cache validation
+#: treats anything older than the surviving history as stale.
+_WRITE_LOG_MAX = 1024
+
 
 class GlobalArray:
     """A one-dimensional distributed array of float64.
@@ -49,6 +54,12 @@ class GlobalArray:
         # contribution (task re-execution after a fault) idempotent.
         self._ordered = False
         self._pending: dict = {}
+        # Write-epoch log (see record_write): disabled unless a
+        # remote-block cache is attached to the owning runtime, so the
+        # default path never pays the bookkeeping.
+        self.track_writes = False
+        self._writes: list[tuple[int, int]] = []
+        self._writes_base = 0
         if data_mode is DataMode.REAL:
             self._segments: Optional[list[np.ndarray]] = [
                 np.zeros(distribution.node_range(node)[1] - distribution.node_range(node)[0])
@@ -77,6 +88,45 @@ class GlobalArray:
     def nbytes(self, lo: int, hi: int) -> float:
         """Wire/memory size of the ``[lo, hi)`` range (float64 elements)."""
         return 8.0 * (hi - lo)
+
+    # ------------------------------------------------------------------
+    # write epochs (remote-block cache invalidation)
+    # ------------------------------------------------------------------
+    @property
+    def write_epoch(self) -> int:
+        """Monotonic count of recorded writes (never resets)."""
+        return self._writes_base + len(self._writes)
+
+    def record_write(self, lo: int, hi: int) -> None:
+        """Log one write to ``[lo, hi)``; no-op unless ``track_writes``.
+
+        Every mutator calls this at its *logical* write point — message
+        delivery for accumulates, call time for scatter/zero — even in
+        SYNTH mode and even when ordered accumulation defers the
+        arithmetic, because a cached remote block goes stale the moment
+        the contribution is owed, not when it is applied.
+        """
+        if not self.track_writes:
+            return
+        self._writes.append((lo, hi))
+        if len(self._writes) > _WRITE_LOG_MAX:
+            drop = len(self._writes) // 2
+            del self._writes[:drop]
+            self._writes_base += drop
+
+    def modified_since(self, epoch: int, lo: int, hi: int) -> bool:
+        """Did any recorded write overlap ``[lo, hi)`` after ``epoch``?
+
+        Epochs older than the surviving (compacted) history count as
+        modified — the conservative answer keeps stale reads impossible
+        by construction.
+        """
+        if epoch < self._writes_base:
+            return True
+        for wlo, whi in self._writes[epoch - self._writes_base :]:
+            if wlo < hi and lo < whi:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # local access (what ga_access() allows)
@@ -116,6 +166,7 @@ class GlobalArray:
         :meth:`enable_ordered_accumulation`.
         """
         self._check_live()
+        self.record_write(segment.lo, segment.hi)
         if self._segments is None:
             return
         if data is None:
@@ -165,6 +216,7 @@ class GlobalArray:
         :meth:`enable_ordered_accumulation`).
         """
         self._check_live()
+        self.record_write(lo, hi)
         if self._segments is None:
             return
         if data is None:
@@ -235,6 +287,7 @@ class GlobalArray:
     def scatter(self, values: np.ndarray) -> None:
         """Overwrite the whole array contents (setup convenience)."""
         self._check_live()
+        self.record_write(0, self.total)
         if self._segments is None:
             return
         if values.shape != (self.total,):
@@ -248,6 +301,7 @@ class GlobalArray:
     def zero(self) -> None:
         """Reset every element to zero (setup convenience)."""
         self._check_live()
+        self.record_write(0, self.total)
         if self._segments is None:
             return
         for seg in self._segments:

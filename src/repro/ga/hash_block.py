@@ -29,7 +29,12 @@ def get_hash_block(ga, node, thread: int, array, lo: int, hi: int, label: str = 
     what the calling rank experiences.
     """
     t_start = ga.engine.now
+    hits_before = ga.cache_hits
     data = yield from ga.fetch(node.node_id, array, lo, hi)
+    meta = {"bytes": array.nbytes(lo, hi)}
+    if ga.remote_cache is not None:
+        # knobs-on only, so default-path traces stay byte-identical
+        meta["cached"] = ga.cache_hits > hits_before
     node.trace.record(
         node.node_id,
         thread,
@@ -37,7 +42,7 @@ def get_hash_block(ga, node, thread: int, array, lo: int, hi: int, label: str = 
         label or f"GET_HASH_BLOCK:{array.name}",
         t_start,
         ga.engine.now,
-        {"bytes": array.nbytes(lo, hi)},
+        meta,
     )
     return data
 

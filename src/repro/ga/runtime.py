@@ -22,9 +22,11 @@ from typing import Optional
 import numpy as np
 
 from repro.ga.array import GlobalArray
+from repro.ga.cache import RemoteBlockCache, RemoteCachePolicy
 from repro.ga.distribution import Distribution, Segment
 from repro.sim.cluster import Cluster, DataMode
 from repro.sim.engine import SimEvent, all_of
+from repro.sim.network import BatchPayload, CoalescePolicy, Coalescer
 from repro.sim.timeline import KIND_COMM
 from repro.util.errors import GlobalArrayError
 
@@ -68,7 +70,12 @@ class GlobalArrays:
 
     INBOX = "ga.req"
 
-    def __init__(self, cluster: Cluster) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        coalescing: Optional[CoalescePolicy] = None,
+        remote_cache: Optional[RemoteCachePolicy] = None,
+    ) -> None:
         self.cluster = cluster
         self.engine = cluster.engine
         self.machine = cluster.machine
@@ -77,11 +84,47 @@ class GlobalArrays:
         self._arrays: dict[str, GlobalArray] = {}
         for node in cluster.nodes:
             self.engine.process(self._handler(node), name=f"ga.handler{node.node_id}")
+        # comm-optimization knobs (both default off — the knobs-off
+        # paths below are byte-identical to a build without them)
+        self.coalescing = coalescing
+        self.remote_cache = remote_cache
+        self._coalescers: Optional[list[Coalescer]] = None
+        if coalescing is not None:
+            self._coalescers = [
+                Coalescer(
+                    cluster.network,
+                    node.node_id,
+                    coalescing,
+                    inbox=self.INBOX,
+                    batch_tag="get.batch",
+                )
+                for node in cluster.nodes
+            ]
+        self._caches: Optional[list[RemoteBlockCache]] = None
+        if remote_cache is not None:
+            self._caches = [RemoteBlockCache(remote_cache) for _ in cluster.nodes]
         # statistics
         self.gets = 0
         self.accs = 0
         self.bytes_fetched = 0.0
         self.bytes_accumulated = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_bytes_saved = 0.0
+
+    @property
+    def coalesced_batches(self) -> int:
+        """Wire messages that carried more than one GA request."""
+        if self._coalescers is None:
+            return 0
+        return sum(c.batches for c in self._coalescers)
+
+    @property
+    def messages_saved(self) -> int:
+        """Request messages that merged into another wire message."""
+        if self._coalescers is None:
+            return 0
+        return sum(c.messages_saved for c in self._coalescers)
 
     # ------------------------------------------------------------------
     # array lifecycle
@@ -97,6 +140,9 @@ class GlobalArrays:
             distribution=Distribution(total, self.cluster.n_nodes),
             data_mode=self.cluster.data_mode,
         )
+        if self._caches is not None:
+            # cache validation needs the array's write-epoch log
+            array.track_writes = True
         self._arrays[name] = array
         return array
 
@@ -116,38 +162,79 @@ class GlobalArrays:
         Issues one request per owner segment, waits for every reply,
         then pays the requester-side cost of landing the bytes in local
         memory. Returns a contiguous float64 array (REAL) or None.
+
+        With the remote-block cache enabled a range that touches remote
+        memory may be served from the requester's cache (no wire
+        traffic, only the local landing cost); with coalescing enabled
+        the per-segment requests leave through the node's aggregation
+        window instead of as individual sends.
         """
         array._check_live()
         segments = array.distribution.segments(lo, hi)
         self.gets += 1
         nbytes = array.nbytes(lo, hi)
+        cache = None
+        epoch = 0
+        if self._caches is not None and any(s.node != requester for s in segments):
+            # purely-local ranges skip the cache: they never hit the
+            # wire, so there is nothing to save
+            cache = self._caches[requester]
+            epoch = array.write_epoch
+            hit, data = cache.lookup(array, lo, hi)
+            if hit:
+                self.cache_hits += 1
+                self.cache_bytes_saved += nbytes
+                if self.metrics.enabled:
+                    self.metrics.inc("ga.gets")
+                    self.metrics.inc("ga.cache.hits")
+                    self.metrics.inc("ga.cache.bytes_saved", nbytes)
+                # same flush point a real owner-side read would have
+                array.flush_accumulations()
+                if nbytes > 0:
+                    yield self.cluster.nodes[requester].membw.transfer(nbytes)
+                return None if data is None else data.copy()
+            self.cache_misses += 1
+            if self.metrics.enabled:
+                self.metrics.inc("ga.cache.misses")
         self.bytes_fetched += nbytes
         if self.metrics.enabled:
             self.metrics.inc("ga.gets")
             self.metrics.inc("ga.get_bytes", nbytes)
             self.metrics.observe("ga.request_bytes", nbytes, op="get")
+        coalescer = (
+            self._coalescers[requester] if self._coalescers is not None else None
+        )
         events = []
         for segment in segments:
             event = self.engine.event()
             request = _Request("get", array, segment, None, requester, event)
-            self.cluster.network.send(
-                requester,
-                segment.node,
-                _CTRL_BYTES,
-                request,
-                inbox=self.INBOX,
-                tag=f"get:{array.name}",
-            )
+            if coalescer is not None:
+                coalescer.submit(
+                    segment.node, _CTRL_BYTES, request, tag=f"get:{array.name}"
+                )
+            else:
+                self.cluster.network.send(
+                    requester,
+                    segment.node,
+                    _CTRL_BYTES,
+                    request,
+                    inbox=self.INBOX,
+                    tag=f"get:{array.name}",
+                )
             events.append(event)
         replies = yield all_of(self.engine, events)
         if nbytes > 0:
             # land the received bytes in the requester's memory
             yield self.cluster.nodes[requester].membw.transfer(nbytes)
         if self.cluster.data_mode is not DataMode.REAL:
+            if cache is not None:
+                cache.insert(array, lo, hi, epoch, None)
             return None
         out = np.empty(hi - lo)
         for segment, chunk in zip(segments, replies):
             out[segment.lo - lo : segment.hi - lo] = chunk
+        if cache is not None:
+            cache.insert(array, lo, hi, epoch, out.copy())
         return out
 
     def accumulate(
@@ -213,6 +300,37 @@ class GlobalArrays:
         timer = self.engine.timeline.timer(KIND_COMM, node=node.node_id)
         while True:
             message = yield inbox.get()
+            if isinstance(message.payload, BatchPayload):
+                # a coalesced request batch: serve each segment request
+                # FIFO (full per-request overhead and memory traffic —
+                # coalescing saves wire messages, not owner work), then
+                # answer with ONE combined reply message
+                replies: list[tuple[SimEvent, object]] = []
+                reply_bytes = 0.0
+                for request in message.payload:
+                    seg = request.segment
+                    seg_bytes = 8.0 * seg.size
+                    yield timer.after(
+                        self.machine.ga_request_overhead_s
+                        + seg_bytes / self.machine.ga_service_bytes_per_s
+                    )
+                    if seg_bytes > 0:
+                        yield node.membw.transfer(seg_bytes)
+                    replies.append(
+                        (request.reply_event, request.array.read_segment(seg))
+                    )
+                    reply_bytes += seg_bytes
+                self.cluster.network.send(
+                    node.node_id,
+                    message.src,
+                    reply_bytes,
+                    replies,
+                    tag="get.reply.batch",
+                    on_deliver=lambda msg: [
+                        ev.succeed(chunk) for ev, chunk in msg.payload
+                    ],
+                )
+                continue
             request: _Request = message.payload
             segment = request.segment
             seg_bytes = 8.0 * segment.size

@@ -16,9 +16,9 @@ the READ tasks, Figure 11).
 from __future__ import annotations
 
 import sys
-from typing import Any, TYPE_CHECKING
+from typing import Any, Optional, TYPE_CHECKING
 
-from repro.sim.network import Message
+from repro.sim.network import BatchPayload, Coalescer, Message
 from repro.sim.timeline import KIND_COMM
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -55,6 +55,17 @@ class CommThread:
         self.inbox_name = f"parsec.comm#{runtime.instance_id}"
         self.ctrl_name = f"parsec.ctrl#{runtime.instance_id}"
         self.messages_processed = 0
+        # dataflow-only coalescing: the steal control plane keeps its
+        # dedicated latency-critical lane un-batched
+        self._coalescer: Optional[Coalescer] = None
+        if runtime.coalescing is not None:
+            self._coalescer = Coalescer(
+                runtime.cluster.network,
+                node.node_id,
+                runtime.coalescing,
+                inbox=self.inbox_name,
+                batch_tag="parsec:batch",
+            )
         self.engine.process(
             self._serve(), name=f"parsec.comm{node.node_id}#{runtime.instance_id}"
         )
@@ -115,6 +126,7 @@ class CommThread:
                 yield timer.after(service)
             self.messages_processed += 1
             if isinstance(item, Message):
+                assert runtime.stealing is not None  # ctrl plane implies stealing
                 runtime.stealing.on_message(self.node.node_id, item.payload)
             else:
                 _, dest_node, payload, size_bytes = item
@@ -155,6 +167,29 @@ class CommThread:
             if service > 0:
                 yield timer.after(service)
             self.messages_processed += 1
+            assert runtime.graph is not None  # comm traffic implies a live graph
+            if isinstance(item, Message) and isinstance(item.payload, BatchPayload):
+                # a coalesced dataflow batch: the service charge above
+                # already covered the summed bytes with ONE per-message
+                # overhead; deliver the items in submit order
+                for sub, sub_bytes in zip(item.payload.items, item.payload.sizes):
+                    consumer_key, flow, data, tag = sub
+                    consumer_node = runtime.graph.instances[consumer_key].node
+                    if consumer_node != self.node.node_id:
+                        # a moved consumer forwards its item alone
+                        if runtime.cluster.metrics.enabled:
+                            runtime.cluster.metrics.inc("parsec.forwarded")
+                        network.send(
+                            self.node.node_id,
+                            consumer_node,
+                            sub_bytes,
+                            sub,
+                            inbox=self.inbox_name,
+                            tag=_dataflow_tag(consumer_key[0]),
+                        )
+                        continue
+                    runtime._deliver(consumer_key, flow, data, tag=tag)
+                continue
             if isinstance(item, Message):
                 # incoming: payload is (consumer_key, flow, data, tag)
                 consumer_key, flow, data, tag = item.payload
@@ -186,11 +221,19 @@ class CommThread:
                 if metrics.enabled:
                     metrics.inc("parsec.messages_remote")
                     metrics.inc("parsec.bytes_remote", size_bytes)
-                network.send(
-                    self.node.node_id,
-                    consumer_node,
-                    size_bytes,
-                    (consumer_key, flow, data, tag),
-                    inbox=self.inbox_name,
-                    tag=_dataflow_tag(consumer_key[0]),
-                )
+                if self._coalescer is not None:
+                    self._coalescer.submit(
+                        consumer_node,
+                        size_bytes,
+                        (consumer_key, flow, data, tag),
+                        tag=_dataflow_tag(consumer_key[0]),
+                    )
+                else:
+                    network.send(
+                        self.node.node_id,
+                        consumer_node,
+                        size_bytes,
+                        (consumer_key, flow, data, tag),
+                        inbox=self.inbox_name,
+                        tag=_dataflow_tag(consumer_key[0]),
+                    )

@@ -336,8 +336,6 @@ class DtdRuntime:
         self.bytes_remote += size_bytes
         inbox = f"dtd.recv#{self.instance_id}"
         node = self.cluster.nodes[successor.node]
-        if not hasattr(node, "_dtd_receivers"):
-            node._dtd_receivers = set()
         if self.instance_id not in node._dtd_receivers:
             node._dtd_receivers.add(self.instance_id)
             self.engine.process(

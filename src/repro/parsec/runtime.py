@@ -42,6 +42,7 @@ from repro.parsec.stealing import StealCoordinator, StealPolicy
 from repro.parsec.taskclass import TaskContext, TaskInstance
 from repro.sim.cluster import Cluster
 from repro.sim.engine import SimEvent
+from repro.sim.network import CoalescePolicy
 from repro.util.errors import DataflowError, StallError
 
 __all__ = ["ParsecRuntime", "ParsecResult"]
@@ -99,6 +100,7 @@ class ParsecRuntime:
         cluster: Cluster,
         policy: "SchedulerPolicy | None" = None,
         stealing: "StealPolicy | None" = None,
+        coalescing: "CoalescePolicy | None" = None,
     ) -> None:
         from repro.parsec.scheduler import SchedulerPolicy
 
@@ -106,6 +108,9 @@ class ParsecRuntime:
         self.cluster = cluster
         self.policy = policy or SchedulerPolicy.PRIORITY
         self.steal_policy = stealing
+        #: per-destination dataflow aggregation (None = off, the default
+        #: wire behavior the golden digests pin)
+        self.coalescing = coalescing
         self.stealing: Optional[StealCoordinator] = None
         self.graph: Optional[TaskGraph] = None
         self.md: Any = None
@@ -188,6 +193,7 @@ class ParsecRuntime:
         # chatter still in flight after that drains off the clock
         if self.done_at is not None:
             end_time = self.done_at
+        assert self.graph is not None  # set by launch()
         per_class: dict[str, int] = {}
         for task in self.graph.instances.values():
             per_class[task.cls.name] = per_class.get(task.cls.name, 0) + 1
@@ -237,6 +243,7 @@ class ParsecRuntime:
 
     def _stall_error(self) -> StallError:
         """Build the diagnosable stall report the watchdog raises."""
+        assert self.graph is not None  # set by launch()
         stuck = [t for t in self.graph.instances.values() if not t.done]
         lines = [
             f"execution stalled with {len(stuck)} unfinished tasks "
@@ -287,6 +294,7 @@ class ParsecRuntime:
         survivors = [n.node_id for n in self.cluster.nodes if n.alive]
         if not survivors:
             return  # nothing to fail over to; the watchdog will report
+        assert self.graph is not None  # called from launch() after instantiate
         placed = 0
         for key in sorted(self.graph.instances):
             task = self.graph.instances[key]
@@ -312,6 +320,7 @@ class ParsecRuntime:
         if not survivors:
             return  # nothing to fail over to; the watchdog will report
         self.schedulers[dead].drain()
+        assert self.cluster.faults is not None  # crashes come from the injector
         report = self.cluster.faults.report
         placed = 0
         for key in sorted(self.graph.instances):
@@ -335,6 +344,7 @@ class ParsecRuntime:
     # ------------------------------------------------------------------
     def _on_complete(self, task: TaskInstance, context: TaskContext) -> None:
         md = self.md
+        assert self.graph is not None  # executing tasks imply a live graph
         instances = self.graph.instances
         params = task.params
         node = task.node
@@ -368,11 +378,13 @@ class ParsecRuntime:
         self._completed += 1
         if self._completed == self._n_tasks:
             self.done_at = self.cluster.engine.now
+            assert self.done is not None
             self.done.succeed()
 
     def _deliver(
         self, consumer_key: tuple, flow: str, data: Any, tag: Any = None
     ) -> None:
+        assert self.graph is not None  # deliveries imply a live graph
         consumer = self.graph.instances[consumer_key]
         self.deliveries_local += 1
         metrics = self.cluster.metrics

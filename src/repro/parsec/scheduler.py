@@ -13,7 +13,7 @@ argument of variant v5).
 from __future__ import annotations
 
 from enum import Enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.parsec.taskclass import TaskContext, TaskInstance
 from repro.sim.faults import killable
@@ -22,6 +22,7 @@ from repro.sim.timeline import KIND_TASK
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parsec.runtime import ParsecRuntime
+    from repro.parsec.stealing import StealAgent
 
 __all__ = ["SchedulerPolicy", "NodeScheduler"]
 
@@ -81,7 +82,7 @@ class NodeScheduler:
         self.gpu_tasks_executed = 0
         #: set by the runtime when a StealPolicy is active; workers
         #: notify it when they find the ready queue empty
-        self.steal_agent = None
+        self.steal_agent: Optional["StealAgent"] = None
         for thread in range(n_workers):
             self.engine.process(
                 self._worker(thread), name=f"parsec.worker{node.node_id}.{thread}"

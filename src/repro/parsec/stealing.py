@@ -409,6 +409,7 @@ class StealCoordinator:
         class of task loss all over again.
         """
         runtime = self.runtime
+        assert runtime.graph is not None  # steals only happen mid-execution
         for key in ready_keys:
             task = runtime.graph.instances[key]
             if task.done or task.started or task.claimed or task.node != thief:

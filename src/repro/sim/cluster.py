@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs.registry import MetricsRegistry
 from repro.sim.cost import MachineModel
@@ -24,6 +25,9 @@ from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.trace import TraceRecorder
 from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultInjector
 
 __all__ = ["DataMode", "ClusterConfig", "Cluster"]
 
@@ -94,7 +98,7 @@ class Cluster:
         self.network = Network(self.engine, config.machine, metrics=self.metrics)
         self.nodes: list[Node] = []
         #: the FaultInjector, once install_faults() has been called
-        self.faults = None
+        self.faults: Optional["FaultInjector"] = None
         for node_id in range(config.n_nodes):
             node = Node(
                 self.engine, node_id, config.machine, config.cores_per_node, self.trace

@@ -18,19 +18,28 @@ from __future__ import annotations
 
 import itertools
 import sys
+from dataclasses import dataclass
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.obs.registry import NULL_METRICS, MetricsRegistry
-from repro.sim.engine import Engine, Process, SimEvent
+from repro.sim.engine import Engine, Process, ScheduledCall, SimEvent
 from repro.sim.resources import Resource
 from repro.sim.timeline import KIND_NET, TimelineTimer
 from repro.util.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.cost import MachineModel
+    from repro.sim.faults import FaultInjector
     from repro.sim.node import Node
 
-__all__ = ["Message", "NIC", "Network"]
+__all__ = [
+    "BatchPayload",
+    "CoalescePolicy",
+    "Coalescer",
+    "Message",
+    "NIC",
+    "Network",
+]
 
 
 class Message:
@@ -132,7 +141,7 @@ class Network:
         self._seq = itertools.count()
         #: set by Cluster.install_faults(); message fates apply per
         #: transmission attempt, with ack-timeout retransmission
-        self.faults = None
+        self.faults: Optional["FaultInjector"] = None
         # statistics
         self.messages_sent = 0
         self.bytes_sent = 0.0
@@ -237,26 +246,29 @@ class Network:
                     )
                 yield from src_node.nic.tx.use(wire)
                 fate = "ok"
-                if self.faults is not None:
-                    fate = self.faults.plan.message_fate(
+                faults = self.faults
+                if faults is not None:
+                    fate = faults.plan.message_fate(
                         message.tag, message.seq, attempt
                     )
                 if fate == "drop":
                     # lost on the wire: wait out the ack timeout
                     # (exponential backoff), then retransmit
-                    report = self.faults.report
+                    assert faults is not None  # fates only exist under an injector
+                    report = faults.report
                     report.messages_dropped += 1
                     report.retransmits += 1
                     if metrics.enabled:
                         metrics.inc("net.retransmits")
-                    backoff = self.faults.plan.backoff(attempt)
+                    backoff = faults.plan.backoff(attempt)
                     report.recovery_overhead_s += backoff
                     yield timer.after(backoff)
                     attempt += 1
                     continue
                 if fate == "delay":
-                    self.faults.report.messages_delayed += 1
-                    yield timer.after(self.faults.plan.msg_delay_s)
+                    assert faults is not None
+                    faults.report.messages_delayed += 1
+                    yield timer.after(faults.plan.msg_delay_s)
                 yield timer.after(latency)
                 if metrics.enabled:
                     metrics.gauge_max(
@@ -269,7 +281,8 @@ class Network:
                 if fate == "dup":
                     # the duplicate also crosses the receiver's NIC, then
                     # is discarded by sequence number (exactly-once)
-                    self.faults.report.messages_duplicated += 1
+                    assert faults is not None
+                    faults.report.messages_duplicated += 1
                     self.dup_bytes += message.size_bytes
                     if metrics.enabled:
                         metrics.inc("net.dup_bytes", message.size_bytes)
@@ -287,3 +300,160 @@ class Network:
         else:
             dst_node.inbox(inbox).put(message)
         return message
+
+
+# ----------------------------------------------------------------------
+# per-destination message coalescing (opt-in, see RunConfig.coalescing)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CoalescePolicy:
+    """Knobs for the per-destination aggregation window.
+
+    A submitted message opens (or joins) a window keyed by destination;
+    the window flushes after ``window_s`` simulated seconds, or as soon
+    as ``max_batch`` messages have pooled, whichever comes first. A
+    window holding one message flushes as a plain send — byte-for-byte
+    what the sender would have produced without the coalescer — so the
+    policy only changes the wire when it actually merges traffic.
+    """
+
+    #: how long the first message in a window waits for company
+    window_s: float = 5.0e-6
+    #: pool at most this many messages before flushing early
+    max_batch: int = 8
+
+
+class BatchPayload:
+    """Several logical payloads riding one wire message.
+
+    The transport treats it like any other payload; receivers that
+    opted into coalescing unpack and service the items in submit
+    order (FIFO within the batch, matching un-coalesced delivery).
+    ``sizes`` keeps each item's individual wire size so a receiver can
+    re-send one item on its own (the PaRSEC forward-on-moved-consumer
+    path needs it).
+    """
+
+    __slots__ = ("items", "sizes")
+
+    def __init__(self, items: list, sizes: list[float]) -> None:
+        self.items = items
+        self.sizes = sizes
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+
+class _Window:
+    """Open aggregation window toward one destination."""
+
+    __slots__ = ("items", "item_sizes", "size_bytes", "tags", "flush_call")
+
+    def __init__(self) -> None:
+        self.items: list = []
+        self.item_sizes: list[float] = []
+        self.size_bytes = 0.0
+        self.tags: list[str] = []
+        self.flush_call: Optional[ScheduledCall] = None
+
+
+class Coalescer:
+    """Per-destination aggregation in front of :meth:`Network.send`.
+
+    One instance sits on each participating node (per traffic lane —
+    GA requests and PaRSEC dataflow keep separate coalescers so
+    control-plane and bulk traffic never merge). ``submit`` replaces a
+    direct ``send``: messages to the same remote destination that land
+    inside the window leave as ONE wire message of summed size — one
+    latency charge — wrapped in a :class:`BatchPayload`. Local (same
+    node) messages bypass the window entirely; they never touch the
+    wire in the first place.
+
+    Flush order is deterministic: windows are armed through
+    :meth:`Engine.schedule`, so they fire in ``(time, seq)`` order like
+    every other simulated event.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src: int,
+        policy: CoalescePolicy,
+        inbox: str,
+        batch_tag: str = "batch",
+    ) -> None:
+        self.network = network
+        self.src = src
+        self.policy = policy
+        self.inbox = inbox
+        self.batch_tag = batch_tag
+        self._windows: dict[int, _Window] = {}
+        # statistics
+        self.batches = 0
+        self.batched_items = 0
+        self.messages_saved = 0
+
+    def submit(self, dst: int, size_bytes: float, payload: Any, tag: str = "") -> None:
+        """Queue one message for ``dst``; flushes per the policy."""
+        if dst == self.src or self.policy.max_batch <= 1:
+            self.network.send(
+                self.src, dst, size_bytes, payload, inbox=self.inbox, tag=tag
+            )
+            return
+        window = self._windows.get(dst)
+        if window is None:
+            window = _Window()
+            self._windows[dst] = window
+        if not window.items:
+            window.flush_call = self.network.engine.schedule(
+                self.policy.window_s, self._flush, dst
+            )
+        window.items.append(payload)
+        window.item_sizes.append(size_bytes)
+        window.size_bytes += size_bytes
+        window.tags.append(tag)
+        if len(window.items) >= self.policy.max_batch:
+            if window.flush_call is not None:
+                window.flush_call.cancel()
+            self._flush(dst)
+
+    def _flush(self, dst: int) -> None:
+        window = self._windows[dst]
+        items = window.items
+        if not items:  # pragma: no cover - defensive (cancelled + refired)
+            return
+        if len(items) == 1:
+            # a lone message leaves exactly as an un-coalesced send would
+            self.network.send(
+                self.src,
+                dst,
+                window.size_bytes,
+                items[0],
+                inbox=self.inbox,
+                tag=window.tags[0],
+            )
+        else:
+            self.batches += 1
+            self.batched_items += len(items)
+            self.messages_saved += len(items) - 1
+            metrics = self.network.metrics
+            if metrics.enabled:
+                metrics.inc("net.coalesce.batches")
+                metrics.inc("net.coalesce.batched_items", len(items))
+                metrics.inc("net.coalesce.messages_saved", len(items) - 1)
+            self.network.send(
+                self.src,
+                dst,
+                window.size_bytes,
+                BatchPayload(list(items), list(window.item_sizes)),
+                inbox=self.inbox,
+                tag=self.batch_tag,
+            )
+        window.items = []
+        window.item_sizes = []
+        window.size_bytes = 0.0
+        window.tags = []
+        window.flush_call = None
